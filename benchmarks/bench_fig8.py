@@ -1,0 +1,49 @@
+"""Figure 8: double-defect vs planar favorability crossover (pP = 1e-8).
+
+Paper claims reproduced and asserted here:
+
+* At small computation sizes planar codes win (smaller tiles).
+* Past a crossover size double-defect codes win (braids beat swap-based
+  distribution once distribution latency exceeds the prefetch budget).
+* The crossover for the parallel IM occurs at a much larger size than
+  for the serial SQ (braid congestion penalizes double-defect codes in
+  parallel applications).
+"""
+
+from repro.core import analyze_crossover, format_fig8
+from repro.tech import OPTIMISTIC
+
+
+def _analyze(calibrations):
+    sq = analyze_crossover(
+        "sq", OPTIMISTIC, calibration=calibrations[("sq", None)]
+    )
+    im = analyze_crossover(
+        "im", OPTIMISTIC, calibration=calibrations[("im", None)]
+    )
+    return sq, im
+
+
+def test_fig8_crossover(calibrations, benchmark):
+    sq, im = benchmark.pedantic(
+        _analyze, args=(calibrations,), rounds=1, iterations=1
+    )
+    assert sq.points[0].planar_favored, "planar must win at small sizes"
+    assert im.points[0].planar_favored
+    assert sq.crossover_size is not None, "SQ must cross over in range"
+    assert im.crossover_size is not None, "IM must cross over in range"
+    assert im.crossover_size > 100 * sq.crossover_size, (
+        "IM's crossover must occur at a much larger size than SQ's "
+        f"(got SQ {sq.crossover_size:.2e}, IM {im.crossover_size:.2e})"
+    )
+    # Qubit ratio > 1 beyond trivial sizes (planar tiles smaller).
+    for point in sq.points:
+        if point.computation_size > 1e6:
+            assert point.qubit_ratio > 1.0
+
+    print("\n" + "=" * 64)
+    print("FIGURE 8 -- Double-defect vs planar, normalized (pP = 1e-8)")
+    print("=" * 64)
+    print(format_fig8(sq))
+    print()
+    print(format_fig8(im))

@@ -1,0 +1,49 @@
+"""Braid scheduling policy exploration (the Figure 6 experiment).
+
+Sweeps all seven prioritization policies on a workload of your choice
+and prints schedule-length-to-critical-path ratios and mesh
+utilization -- the two metrics of Figure 6.
+
+Run:  python examples/braid_policies.py [app] [size]
+      (defaults: im 12)
+"""
+
+import sys
+
+from repro.apps import build_circuit
+from repro.arch import build_tiled_machine
+from repro.frontend import decompose_circuit
+from repro.network import POLICIES
+from repro.qasm import CircuitDag
+
+
+def main(app: str = "im", size: int = 12, distance: int = 5) -> None:
+    print(f"building {app}[{size}] ...")
+    circuit = decompose_circuit(build_circuit(app, size))
+    dag = CircuitDag(circuit)
+    print(
+        f"{len(circuit)} operations on {circuit.num_qubits} logical qubits; "
+        f"ideal parallelism {dag.parallelism_factor:.1f}"
+    )
+    header = (
+        f"{'policy':<8} {'sched/CP':>9} {'util%':>7} {'drops':>7} "
+        f"{'adaptive':>9}  description"
+    )
+    print(header)
+    print("-" * (len(header) + 30))
+    for number, policy in POLICIES.items():
+        machine = build_tiled_machine(
+            circuit, optimize_layout=policy.optimized_layout
+        )
+        result = machine.simulate(policy, distance, dag=dag)
+        print(
+            f"{policy.name:<8} {result.schedule_to_critical_ratio:>9.2f} "
+            f"{result.mean_utilization * 100:>7.1f} {result.drops:>7} "
+            f"{result.adaptive_routes:>9}  {policy.description}"
+        )
+
+
+if __name__ == "__main__":
+    app = sys.argv[1] if len(sys.argv) > 1 else "im"
+    size = int(sys.argv[2]) if len(sys.argv) > 2 else 12
+    main(app, size)

@@ -1,0 +1,38 @@
+"""Planar vs double-defect crossover analysis (the Figure 8 experiment).
+
+For a chosen application and physical error rate, sweeps computation
+sizes, prints the normalized double-defect/planar resource ratios, and
+locates the favorability crossover.
+
+Run:  python examples/code_crossover.py [app] [pP]
+      (defaults: sq 1e-8)
+"""
+
+import sys
+
+from repro.core import analyze_crossover, format_fig8
+from repro.tech import technology_for_error_rate
+
+
+def main(app: str = "sq", error_rate: float = 1e-8) -> None:
+    tech = technology_for_error_rate(error_rate)
+    print(
+        f"analyzing {app} at pP = {error_rate:g} "
+        "(calibrating simulators on a small instance first)..."
+    )
+    analysis = analyze_crossover(app, tech)
+    print()
+    print(format_fig8(analysis))
+    if analysis.crossover_size is not None:
+        print(
+            f"\n=> use PLANAR below ~{analysis.crossover_size:.1e} logical "
+            "operations, DOUBLE-DEFECT above."
+        )
+    else:
+        print("\n=> planar codes favored across the entire swept range.")
+
+
+if __name__ == "__main__":
+    app = sys.argv[1] if len(sys.argv) > 1 else "sq"
+    rate = float(sys.argv[2]) if len(sys.argv) > 2 else 1e-8
+    main(app, rate)

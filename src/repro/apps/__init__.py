@@ -1,0 +1,39 @@
+"""The paper's four applications (Table 2) plus shared arithmetic.
+
+* GSE -- Ground State Estimation, parallelism ~1.2 (serial).
+* SQ -- Grover square root, parallelism ~1.5 (serial).
+* SHA-1 -- reversible SHA-1 rounds, parallelism ~29 (parallel).
+* IM -- digitized-adiabatic Ising chain, parallelism ~66 (parallel).
+"""
+
+from .gse import GseParams, build_gse
+from .ising import IsingParams, build_ising
+from .registry import APPLICATIONS, AppSpec, build_circuit, get_app
+from .scaling import (
+    CALIBRATION_SIZES,
+    AppScalingModel,
+    PowerLaw,
+    calibrate,
+)
+from .sha1 import Sha1Params, build_sha1
+from .sq import SqParams, build_sq, grover_iteration_count
+
+__all__ = [
+    "GseParams",
+    "build_gse",
+    "IsingParams",
+    "build_ising",
+    "Sha1Params",
+    "build_sha1",
+    "SqParams",
+    "build_sq",
+    "grover_iteration_count",
+    "APPLICATIONS",
+    "AppSpec",
+    "get_app",
+    "build_circuit",
+    "AppScalingModel",
+    "PowerLaw",
+    "calibrate",
+    "CALIBRATION_SIZES",
+]

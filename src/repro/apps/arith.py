@@ -1,0 +1,212 @@
+"""Reversible arithmetic building blocks.
+
+The SQ and SHA-1 workloads are built from classical reversible
+arithmetic: ripple-carry addition (Cuccaro et al.'s CDKM adder),
+constant addition, comparison, and controlled variants.  All builders
+emit gates into any object exposing ``apply(gate, *qubits)`` (both
+:class:`~repro.qasm.Circuit` and :class:`~repro.frontend.Module`
+qualify), so workloads can assemble them into flat circuits or
+hierarchical programs.
+
+Registers are little-endian: ``reg[0]`` is the least significant bit.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+__all__ = [
+    "GateSink",
+    "maj",
+    "uma",
+    "ripple_add",
+    "ripple_add_controlled",
+    "add_constant",
+    "compare_equal_constant",
+    "multi_controlled_x",
+    "xor_register",
+    "rotate_names",
+]
+
+
+class GateSink(Protocol):
+    """Anything that accepts gate applications."""
+
+    def apply(self, gate: str, *qubits: str, param: float | None = None) -> None:
+        ...
+
+
+def maj(sink: GateSink, c: str, b: str, a: str) -> None:
+    """Cuccaro MAJ: (c, b, a) -> (c^a, b^a, MAJ(a, b, c))."""
+    sink.apply("CNOT", a, b)
+    sink.apply("CNOT", a, c)
+    sink.apply("TOFFOLI", c, b, a)
+
+
+def uma(sink: GateSink, c: str, b: str, a: str) -> None:
+    """Cuccaro UMA (2-CNOT variant): inverse of MAJ plus sum restore."""
+    sink.apply("TOFFOLI", c, b, a)
+    sink.apply("CNOT", a, c)
+    sink.apply("CNOT", c, b)
+
+
+def ripple_add(
+    sink: GateSink,
+    a: Sequence[str],
+    b: Sequence[str],
+    carry_in: str,
+    carry_out: str | None = None,
+) -> None:
+    """CDKM ripple-carry adder: ``b += a`` (mod 2^n, or with carry out).
+
+    Args:
+        sink: Gate sink.
+        a: Addend register (unchanged on completion).
+        b: Accumulator register (receives the sum).
+        carry_in: Ancilla in |0> used as the incoming carry (restored).
+        carry_out: Optional qubit receiving the final carry.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"register sizes differ: {len(a)} vs {len(b)}")
+    if not a:
+        raise ValueError("registers must be non-empty")
+    n = len(a)
+    carries = [carry_in] + list(a[:-1])
+    for i in range(n):
+        maj(sink, carries[i], b[i], a[i])
+    if carry_out is not None:
+        sink.apply("CNOT", a[-1], carry_out)
+    for i in range(n - 1, -1, -1):
+        uma(sink, carries[i], b[i], a[i])
+
+
+def ripple_add_controlled(
+    sink: GateSink,
+    control: str,
+    a: Sequence[str],
+    b: Sequence[str],
+    carry_in: str,
+    scratch: Sequence[str],
+) -> None:
+    """Controlled ``b += a`` via a conditionally-loaded scratch addend.
+
+    ``scratch`` (|0...0>, width of ``a``) receives ``control AND a``
+    through a Toffoli fan, is added into ``b`` unconditionally, then is
+    uncomputed.  Adding zero is the identity, so the whole block is a
+    controlled adder.  Cost over :func:`ripple_add`: 2n Toffolis.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"register sizes differ: {len(a)} vs {len(b)}")
+    if len(scratch) != len(a):
+        raise ValueError("scratch register must match addend width")
+    for a_bit, s_bit in zip(a, scratch):
+        sink.apply("TOFFOLI", control, a_bit, s_bit)
+    ripple_add(sink, scratch, b, carry_in)
+    for a_bit, s_bit in zip(a, scratch):
+        sink.apply("TOFFOLI", control, a_bit, s_bit)
+
+
+def add_constant(
+    sink: GateSink,
+    constant: int,
+    target: Sequence[str],
+    scratch: Sequence[str],
+    carry: str,
+) -> None:
+    """``target += constant`` using a scratch register loaded with X gates.
+
+    The scratch register must be in |0...0>; it is restored afterwards.
+    """
+    n = len(target)
+    if len(scratch) != n:
+        raise ValueError("scratch register must match target width")
+    constant %= 1 << n
+    bits = [(constant >> i) & 1 for i in range(n)]
+    for i, bit in enumerate(bits):
+        if bit:
+            sink.apply("X", scratch[i])
+    ripple_add(sink, scratch, target, carry)
+    for i, bit in enumerate(bits):
+        if bit:
+            sink.apply("X", scratch[i])
+
+
+def multi_controlled_x(
+    sink: GateSink,
+    controls: Sequence[str],
+    target: str,
+    ancillas: Sequence[str],
+) -> None:
+    """X on ``target`` conditioned on all ``controls`` (Toffoli ladder).
+
+    Needs ``len(controls) - 2`` ancillas (in |0>, restored).  Degenerate
+    cases (0, 1, 2 controls) emit X / CNOT / Toffoli directly.
+    """
+    k = len(controls)
+    if k == 0:
+        sink.apply("X", target)
+        return
+    if k == 1:
+        sink.apply("CNOT", controls[0], target)
+        return
+    if k == 2:
+        sink.apply("TOFFOLI", controls[0], controls[1], target)
+        return
+    needed = k - 2
+    if len(ancillas) < needed:
+        raise ValueError(
+            f"{k}-controlled X needs {needed} ancillas, got {len(ancillas)}"
+        )
+    work = list(ancillas[:needed])
+    ladder: list[tuple[str, str, str]] = []
+    ladder.append((controls[0], controls[1], work[0]))
+    for i in range(k - 3):
+        ladder.append((controls[i + 2], work[i], work[i + 1]))
+    for c1, c2, t in ladder:
+        sink.apply("TOFFOLI", c1, c2, t)
+    sink.apply("TOFFOLI", controls[-1], work[-1], target)
+    for c1, c2, t in reversed(ladder):
+        sink.apply("TOFFOLI", c1, c2, t)
+
+
+def compare_equal_constant(
+    sink: GateSink,
+    register: Sequence[str],
+    constant: int,
+    result: str,
+    ancillas: Sequence[str],
+) -> None:
+    """``result ^= (register == constant)``.
+
+    X-conjugates the zero bits so equality becomes an AND, then applies a
+    multi-controlled X.  Register state is restored.
+    """
+    n = len(register)
+    constant %= 1 << n
+    zero_bits = [register[i] for i in range(n) if not (constant >> i) & 1]
+    for q in zero_bits:
+        sink.apply("X", q)
+    multi_controlled_x(sink, list(register), result, ancillas)
+    for q in zero_bits:
+        sink.apply("X", q)
+
+
+def xor_register(sink: GateSink, source: Sequence[str], dest: Sequence[str]) -> None:
+    """Bitwise ``dest ^= source`` -- fully parallel CNOT layer."""
+    if len(source) != len(dest):
+        raise ValueError("register widths differ")
+    for s, d in zip(source, dest):
+        sink.apply("CNOT", s, d)
+
+
+def rotate_names(register: Sequence[str], amount: int) -> list[str]:
+    """Left-rotate a register *by renaming* (free on hardware schedules).
+
+    Classical rotations in SHA-1 are compile-time register permutations,
+    not gates; this helper performs the permutation.
+    """
+    n = len(register)
+    if n == 0:
+        return []
+    amount %= n
+    return list(register[amount:]) + list(register[:amount])

@@ -1,0 +1,196 @@
+"""Carry-lookahead (prefix-network) adder with logarithmic depth.
+
+The SHA-1 workload's parallelism comes from word-wide bitwise layers;
+ripple-carry adders would serialize it away.  This module implements a
+Draper/Brent-Kung-style reversible carry-lookahead network:
+
+* ``cla_xor_sum(target ^= a + b)`` -- out-of-place, O(log n) depth,
+  O(n log n) gates, all internal ancillas returned to |0>.
+* ``cla_xor_sum(..., subtract=True)`` -- ``target ^= a - b`` using the
+  two's-complement identity ``a - b = ~(~a + b)``.
+* ``cla_add_inplace`` -- in-place accumulate ``acc += x`` built from an
+  add into a spare register followed by a subtract that zeroes the old
+  accumulator (``old_acc ^= (sum - x) == old_acc``), returning the
+  swapped register names.
+
+Carry recurrences use XOR in place of OR, which is exact because a
+block's generate and propagate signals are never simultaneously 1.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .arith import GateSink
+
+__all__ = ["cla_ancilla_count", "cla_xor_sum", "cla_add_inplace"]
+
+
+def cla_ancilla_count(width: int) -> int:
+    """Safe upper bound on ancillas used by one :func:`cla_xor_sum`."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    # g + p per bit, one (G, P) pair per internal tree node (< width),
+    # one carry per position.
+    return 2 * width + 2 * max(width - 1, 0) + width
+
+
+class _Allocator:
+    """Hands out ancilla names and records them for symmetric uncompute."""
+
+    def __init__(self, pool: Sequence[str]) -> None:
+        self._pool = list(pool)
+        self._next = 0
+
+    def take(self) -> str:
+        if self._next >= len(self._pool):
+            raise ValueError(
+                f"carry-lookahead network exhausted its ancilla pool "
+                f"({len(self._pool)} provided)"
+            )
+        name = self._pool[self._next]
+        self._next += 1
+        return name
+
+
+class _Recorder:
+    """Gate sink wrapper that records emitted gates for exact reversal."""
+
+    def __init__(self, sink: GateSink) -> None:
+        self._sink = sink
+        self.log: list[tuple[str, tuple[str, ...]]] = []
+
+    def apply(self, gate: str, *qubits: str, param: float | None = None) -> None:
+        assert param is None, "CLA emits only X/CNOT/Toffoli"
+        self._sink.apply(gate, *qubits)
+        self.log.append((gate, qubits))
+
+    def unwind(self) -> None:
+        """Re-emit the recorded gates in reverse (all are self-inverse)."""
+        for gate, qubits in reversed(self.log):
+            self._sink.apply(gate, *qubits)
+
+
+def _build_tree(
+    rec: _Recorder,
+    lo: int,
+    hi: int,
+    g: Sequence[str],
+    p: Sequence[str],
+    alloc: _Allocator,
+    nodes: dict[tuple[int, int], tuple[str, str]],
+) -> tuple[str, str]:
+    """Compute block (G, P) for bit range [lo, hi) into fresh ancillas."""
+    if (lo, hi) in nodes:
+        return nodes[(lo, hi)]
+    if hi - lo == 1:
+        nodes[(lo, hi)] = (g[lo], p[lo])
+        return nodes[(lo, hi)]
+    mid = (lo + hi) // 2
+    g_left, p_left = _build_tree(rec, lo, mid, g, p, alloc, nodes)
+    g_right, p_right = _build_tree(rec, mid, hi, g, p, alloc, nodes)
+    g_block = alloc.take()
+    p_block = alloc.take()
+    # G = G_right XOR (P_right AND G_left); P = P_left AND P_right.
+    rec.apply("CNOT", g_right, g_block)
+    rec.apply("TOFFOLI", p_right, g_left, g_block)
+    rec.apply("TOFFOLI", p_left, p_right, p_block)
+    nodes[(lo, hi)] = (g_block, p_block)
+    return nodes[(lo, hi)]
+
+
+def _compute_carries(
+    rec: _Recorder,
+    lo: int,
+    hi: int,
+    carry_in: str | None,
+    alloc: _Allocator,
+    nodes: dict[tuple[int, int], tuple[str, str]],
+    carries: dict[int, str],
+) -> None:
+    """Fill ``carries[i]`` (carry *into* bit i) for lo < i < hi."""
+    if hi - lo == 1:
+        return
+    mid = (lo + hi) // 2
+    g_block, p_block = nodes[(lo, mid)]
+    carry_mid = alloc.take()
+    rec.apply("CNOT", g_block, carry_mid)
+    if carry_in is not None:
+        rec.apply("TOFFOLI", p_block, carry_in, carry_mid)
+    carries[mid] = carry_mid
+    _compute_carries(rec, lo, mid, carry_in, alloc, nodes, carries)
+    _compute_carries(rec, mid, hi, carry_mid, alloc, nodes, carries)
+
+
+def cla_xor_sum(
+    sink: GateSink,
+    a: Sequence[str],
+    b: Sequence[str],
+    target: Sequence[str],
+    ancillas: Sequence[str],
+    subtract: bool = False,
+) -> None:
+    """``target ^= (a + b) mod 2^n`` (or ``a - b`` with ``subtract``).
+
+    ``a`` and ``b`` are read-only; all ancillas are restored to |0>.
+    Requires :func:`cla_ancilla_count` ancillas for the operand width.
+    """
+    n = len(a)
+    if len(b) != n or len(target) != n:
+        raise ValueError("operand and target widths must match")
+    if n == 0:
+        raise ValueError("registers must be non-empty")
+    if len(ancillas) < cla_ancilla_count(n):
+        raise ValueError(
+            f"need {cla_ancilla_count(n)} ancillas for width {n}, got "
+            f"{len(ancillas)}"
+        )
+    if subtract:
+        # a - b = ~(~a + b): X-conjugate a, add, X the target bits.
+        for q in a:
+            sink.apply("X", q)
+    alloc = _Allocator(ancillas)
+    rec = _Recorder(sink)
+    g = [alloc.take() for _ in range(n)]
+    p = [alloc.take() for _ in range(n)]
+    for i in range(n):
+        rec.apply("TOFFOLI", a[i], b[i], g[i])
+        rec.apply("CNOT", a[i], p[i])
+        rec.apply("CNOT", b[i], p[i])
+    nodes: dict[tuple[int, int], tuple[str, str]] = {}
+    carries: dict[int, str] = {}
+    if n > 1:
+        _build_tree(rec, 0, n, g, p, alloc, nodes)
+        _compute_carries(rec, 0, n, None, alloc, nodes, carries)
+    # Write the sum bits (not recorded: this is the network's output).
+    for i in range(n):
+        sink.apply("CNOT", p[i], target[i])
+        if i in carries:
+            sink.apply("CNOT", carries[i], target[i])
+    rec.unwind()
+    if subtract:
+        for q in a:
+            sink.apply("X", q)
+        for q in target:
+            sink.apply("X", q)
+
+
+def cla_add_inplace(
+    sink: GateSink,
+    addend: Sequence[str],
+    accumulator: Sequence[str],
+    spare: Sequence[str],
+    ancillas: Sequence[str],
+) -> tuple[list[str], list[str]]:
+    """In-place ``accumulator += addend`` with register renaming.
+
+    ``spare`` must be |0...0>.  The sum lands in ``spare`` and the old
+    accumulator register is provably zeroed (``acc ^= sum - addend``),
+    so the roles swap.
+
+    Returns:
+        ``(new_accumulator_names, new_spare_names)``.
+    """
+    cla_xor_sum(sink, addend, accumulator, spare, ancillas)
+    cla_xor_sum(sink, spare, addend, accumulator, ancillas, subtract=True)
+    return list(spare), list(accumulator)

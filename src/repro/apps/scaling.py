@@ -1,0 +1,149 @@
+"""Application scaling models: extrapolating beyond generatable sizes.
+
+Figures 7--9 sweep computation sizes up to 1/pL = 1e24 logical
+operations -- far beyond anything that can be generated and simulated
+directly.  The paper handles this the same way: small instances are
+compiled and simulated; their characteristics (qubit count vs. operation
+count, parallelism factor, T fraction) are then extrapolated.
+
+:class:`AppScalingModel` fits log-log linear models (power laws) of
+``logical qubits`` and ``critical path`` against ``total operations``
+over a calibration set of generated instances, and carries forward the
+(size-stable) parallelism factor and gate-mix fractions.  Power laws are
+the right family: circuit families here have polynomial resource scaling
+in the problem size by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..frontend.decompose import decompose_circuit
+from ..frontend.estimate import LogicalEstimate, estimate_circuit
+from .registry import AppSpec, get_app
+
+__all__ = ["PowerLaw", "AppScalingModel", "calibrate", "CALIBRATION_SIZES"]
+
+CALIBRATION_SIZES: dict[str, tuple[int, ...]] = {
+    "gse": (3, 4, 6, 8),
+    "sq": (2, 3, 4, 5),
+    "sha1": (1, 2, 3),  # Grover iterations at fixed width (scaling_build)
+    "im": (4, 6, 8, 12),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class PowerLaw:
+    """``y = coefficient * x ** exponent`` fitted in log-log space."""
+
+    coefficient: float
+    exponent: float
+
+    def __call__(self, x: float) -> float:
+        if x <= 0:
+            raise ValueError(f"power law defined for x > 0, got {x}")
+        return self.coefficient * x**self.exponent
+
+    @staticmethod
+    def fit(xs: Sequence[float], ys: Sequence[float]) -> "PowerLaw":
+        if len(xs) != len(ys) or len(xs) < 2:
+            raise ValueError("need >= 2 paired samples to fit a power law")
+        if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+            raise ValueError("power-law fit requires positive samples")
+        log_x = np.log(np.asarray(xs, dtype=float))
+        log_y = np.log(np.asarray(ys, dtype=float))
+        exponent, intercept = np.polyfit(log_x, log_y, 1)
+        return PowerLaw(
+            coefficient=float(math.exp(intercept)), exponent=float(exponent)
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class AppScalingModel:
+    """Extrapolated application characteristics at arbitrary size.
+
+    Attributes:
+        app_name: Registry name of the application.
+        qubits_vs_ops: Logical qubit count as a power law of total ops.
+        depth_vs_ops: Critical path length as a power law of total ops.
+        parallelism_factor: Mean measured ideal concurrency (size-stable
+            by construction of the workloads).
+        t_fraction: Mean fraction of ops consuming a magic state.
+        two_qubit_fraction: Mean fraction of 2-qubit ops.
+        calibration_ops: Total-op counts of the calibration instances.
+    """
+
+    app_name: str
+    qubits_vs_ops: PowerLaw
+    depth_vs_ops: PowerLaw
+    parallelism_factor: float
+    t_fraction: float
+    two_qubit_fraction: float
+    calibration_ops: tuple[int, ...]
+
+    def logical_qubits(self, total_operations: float) -> int:
+        """Extrapolated logical data-qubit count for a K-op computation."""
+        return max(2, round(self.qubits_vs_ops(total_operations)))
+
+    def critical_path(self, total_operations: float) -> float:
+        """Extrapolated dependence-limited depth (logical cycles)."""
+        return max(1.0, self.depth_vs_ops(total_operations))
+
+    def t_count(self, total_operations: float) -> float:
+        return self.t_fraction * total_operations
+
+    def communication_ops(self, total_operations: float) -> float:
+        """Operations requiring network service (2q gates + T states)."""
+        return (self.two_qubit_fraction + self.t_fraction) * total_operations
+
+
+_MODEL_CACHE: dict[str, AppScalingModel] = {}
+
+
+def calibrate(
+    app: str | AppSpec,
+    sizes: Optional[Sequence[int]] = None,
+    use_cache: bool = True,
+) -> AppScalingModel:
+    """Fit an :class:`AppScalingModel` from generated instances.
+
+    Args:
+        app: Application name or spec.
+        sizes: Calibration size knobs; defaults to
+            :data:`CALIBRATION_SIZES` for the app.
+        use_cache: Reuse a previously fitted model for the default sizes.
+    """
+    spec = get_app(app) if isinstance(app, str) else app
+    chosen = tuple(sizes) if sizes is not None else CALIBRATION_SIZES[spec.name]
+    cache_key = spec.name
+    if use_cache and sizes is None and cache_key in _MODEL_CACHE:
+        return _MODEL_CACHE[cache_key]
+    if len(chosen) < 2:
+        raise ValueError("need at least two calibration sizes")
+
+    estimates: list[LogicalEstimate] = []
+    for size in chosen:
+        lowered = decompose_circuit(spec.scaling_circuit(size))
+        estimates.append(estimate_circuit(lowered))
+
+    ops = [e.total_operations for e in estimates]
+    model = AppScalingModel(
+        app_name=spec.name,
+        qubits_vs_ops=PowerLaw.fit(ops, [e.num_qubits for e in estimates]),
+        depth_vs_ops=PowerLaw.fit(ops, [e.critical_path for e in estimates]),
+        parallelism_factor=float(
+            np.mean([e.parallelism_factor for e in estimates])
+        ),
+        t_fraction=float(np.mean([e.t_fraction for e in estimates])),
+        two_qubit_fraction=float(
+            np.mean([e.two_qubit_count / e.total_operations for e in estimates])
+        ),
+        calibration_ops=tuple(ops),
+    )
+    if use_cache and sizes is None:
+        _MODEL_CACHE[cache_key] = model
+    return model

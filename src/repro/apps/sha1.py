@@ -1,0 +1,259 @@
+"""SHA-1 (SHA-1 decryption) workload.
+
+Table 2: "SHA-1 decryption of n-bit message" [55], parallelism factor
+~29 -- a highly parallel application.
+
+The quantum attack circuit is the reversible SHA-1 compression function
+(the Grover oracle core of [55]-style preimage search).  Parallelism
+comes from three sources, all present in real SHA-1 attack circuits:
+
+* **Bitwise round functions** -- Ch / Parity / Maj computed with
+  word-wide Toffoli/CNOT layers (fully parallel across bits).
+* **Log-depth addition** -- a Draper-style carry-lookahead network
+  (:mod:`repro.apps.cla`) instead of ripple carries, and the five round
+  addends summed through a balanced tree so independent adds overlap.
+* **Out-of-place message schedule** -- every ``W[t]`` is a fresh
+  register XOR-combined from four earlier words, so schedule expansion
+  for all rounds proceeds concurrently with the round chain.
+
+``word_bits`` parameterizes the word width so small instances stay
+tractable (real SHA-1 is ``word_bits=32, rounds=80``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..frontend.program import Module, Program
+from .arith import rotate_names, xor_register
+from .cla import cla_ancilla_count, cla_add_inplace, cla_xor_sum
+
+__all__ = ["Sha1Params", "build_sha1", "ROUND_CONSTANTS"]
+
+ROUND_CONSTANTS = (0x5A827999, 0x6ED9EBA1, 0x8F1BBCDC, 0xCA62C1D6)
+
+
+@dataclasses.dataclass(frozen=True)
+class Sha1Params:
+    """SHA-1 instance parameters.
+
+    Attributes:
+        word_bits: Width of each working register (32 in real SHA-1).
+        rounds: Compression rounds (80 in real SHA-1).
+        message_words: Input message words before schedule expansion
+            (16 in SHA-1).
+        grover_iterations: Repetitions of the compression function
+            (the Grover preimage attack iterates the same oracle, so
+            computation size grows while the qubit footprint stays
+            fixed -- the regime of the paper's SHA-1 scaling).
+    """
+
+    word_bits: int = 8
+    rounds: int = 20
+    message_words: int = 16
+    grover_iterations: int = 1
+
+    def __post_init__(self) -> None:
+        if self.word_bits < 4:
+            raise ValueError("word_bits must be >= 4")
+        if self.rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        if self.message_words < 16:
+            raise ValueError("message_words must be >= 16 (SHA-1 block)")
+        if self.grover_iterations < 1:
+            raise ValueError("grover_iterations must be >= 1")
+
+
+def _word(prefix: str, width: int) -> list[str]:
+    return [f"{prefix}_{i}" for i in range(width)]
+
+
+def _ch_layer(module: Module, b, c, d, out) -> None:
+    """out ^= Ch(b, c, d) = (b AND c) XOR (NOT b AND d), bitwise."""
+    for bb, cc, dd, oo in zip(b, c, d, out):
+        module.apply("TOFFOLI", bb, cc, oo)
+        module.apply("X", bb)
+        module.apply("TOFFOLI", bb, dd, oo)
+        module.apply("X", bb)
+
+
+def _parity_layer(module: Module, b, c, d, out) -> None:
+    """out ^= b XOR c XOR d, bitwise."""
+    for bb, cc, dd, oo in zip(b, c, d, out):
+        module.apply("CNOT", bb, oo)
+        module.apply("CNOT", cc, oo)
+        module.apply("CNOT", dd, oo)
+
+
+def _maj_layer(module: Module, b, c, d, out) -> None:
+    """out ^= Maj(b, c, d) = (b AND c) XOR (b AND d) XOR (c AND d)."""
+    for bb, cc, dd, oo in zip(b, c, d, out):
+        module.apply("TOFFOLI", bb, cc, oo)
+        module.apply("TOFFOLI", bb, dd, oo)
+        module.apply("TOFFOLI", cc, dd, oo)
+
+
+_F_LAYERS = (_ch_layer, _parity_layer, _maj_layer, _parity_layer)
+
+
+def _round_module(program: Program, params: Sha1Params, t: int) -> Module:
+    """One SHA-1 round.
+
+    Computes ``new_a = rotl5(a) + f(b, c, d) + e + K_t + W_t`` through a
+    balanced add tree, leaving the result in the (renamed) ``e``
+    register slot and restoring every temporary:
+
+    * ``t1 = rotl5(a) + f`` and ``t2 = K + W_t`` in parallel,
+    * ``t3 = t1 + t2``,
+    * ``e += t3`` in place (accumulator/spare renaming),
+    * uncompute ``t3``, ``t2``, ``t1``, the K load, and ``f``.
+
+    The caller performs the register rotation by permuting arguments at
+    the call site, so positionally: parameters are
+    ``a, b, c, d, e, w_t, spare`` and the new working value lands in the
+    *spare* slot (callers treat the round as mapping
+    ``(e, spare) -> (zeroed, new_a)``).
+    """
+    w = params.word_bits
+    a, b, c, d, e = (_word(r, w) for r in "abcde")
+    wt = _word("wt", w)
+    spare = _word("spare", w)
+    f_temp = _word("f", w)
+    k_reg = _word("k", w)
+    t1, t2, t3 = _word("t1", w), _word("t2", w), _word("t3", w)
+    anc = _word("cla", cla_ancilla_count(w))
+    # Scratch (f, K, adder temps, CLA ancillas) is passed in by the
+    # caller from a shared pool: ancillas are *reused* across rounds, as
+    # any reversible-circuit compiler would, so the qubit footprint does
+    # not grow with round or iteration count.
+    module = program.module(
+        f"round_{t}",
+        parameters=a + b + c + d + e + wt + spare
+        + f_temp + k_reg + t1 + t2 + t3 + anc,
+    )
+    quarter = min((t * 4) // max(params.rounds, 1), 3)
+    f_layer = _F_LAYERS[quarter]
+    constant = ROUND_CONSTANTS[quarter] & ((1 << w) - 1)
+    k_bits = [k_reg[i] for i in range(w) if (constant >> i) & 1]
+
+    f_layer(module, b, c, d, f_temp)
+    for q in k_bits:
+        module.apply("X", q)
+
+    rotated_a = rotate_names(a, 5 % w)
+    cla_xor_sum(module, rotated_a, f_temp, t1, anc)
+    cla_xor_sum(module, k_reg, wt, t2, anc)
+    cla_xor_sum(module, t1, t2, t3, anc)
+    cla_add_inplace(module, t3, e, spare, anc)
+    # The sum now lives in ``spare``; ``e`` is zeroed.  Uncompute temps.
+    cla_xor_sum(module, t1, t2, t3, anc)
+    cla_xor_sum(module, k_reg, wt, t2, anc)
+    cla_xor_sum(module, rotated_a, f_temp, t1, anc)
+
+    for q in k_bits:
+        module.apply("X", q)
+    f_layer(module, b, c, d, f_temp)  # all three f layers are involutions
+    return module
+
+
+def _schedule_module(program: Program, params: Sha1Params) -> Module:
+    """Out-of-place schedule word: dst ^= s3 ^ s8 ^ s14 ^ s16 (pre-rotl1).
+
+    Four parallel CNOT layers; the rotl1 is applied by the caller as an
+    argument permutation on the destination word.
+    """
+    w = params.word_bits
+    dst = _word("dst", w)
+    sources = [_word(f"src{k}", w) for k in range(4)]
+    module = program.module(
+        "schedule_word", parameters=dst + [q for s in sources for q in s]
+    )
+    for source in sources:
+        xor_register(module, source, dst)
+    return module
+
+
+def build_sha1(params: Sha1Params | None = None) -> Program:
+    """Build the reversible SHA-1 compression program."""
+    params = params or Sha1Params()
+    w, rounds = params.word_bits, params.rounds
+    program = Program("main")
+
+    schedule_word = _schedule_module(program, params)
+    round_modules = [_round_module(program, params, t) for t in range(rounds)]
+
+    state = {reg: _word(f"h{reg}", w) for reg in "abcde"}
+    spare = _word("hspare", w)
+    schedule = [_word(f"w{t}", w) for t in range(max(rounds, 16))]
+    scratch_size = 5 * w + cla_ancilla_count(w)
+    pools = [_word(f"pool{k}", scratch_size) for k in range(2)]
+    all_locals = (
+        [q for reg in state.values() for q in reg]
+        + spare
+        + [q for word in schedule for q in word]
+        + [q for pool in pools for q in pool]
+    )
+    main = program.module("main", locals_=all_locals)
+
+    # Initialize chaining state and message words (prep + seed pattern);
+    # scratch pools are prepared to |0> (CLA ancilla precondition).
+    seeded = set(
+        [q for reg in state.values() for q in reg]
+        + spare
+        + [q for word in schedule for q in word]
+    )
+    for index, qubit in enumerate(all_locals):
+        main.apply("PREPZ", qubit)
+        if qubit in seeded and (index * 2654435761) % 3 == 0:
+            main.apply("X", qubit)
+
+    # Message schedule expansion: independent of the round chain, so all
+    # words expand concurrently (subject to their own W-dependencies).
+    for t in range(16, rounds):
+        rotated_dst = rotate_names(schedule[t], 1)
+        main.call(
+            schedule_word.name,
+            *(
+                rotated_dst
+                + schedule[t - 3]
+                + schedule[t - 8]
+                + schedule[t - 14]
+                + schedule[t - 16]
+            ),
+        )
+        schedule[t] = rotated_dst
+
+    names = {reg: list(word) for reg, word in state.items()}
+    spare_name = list(spare)
+    for step in range(rounds * params.grover_iterations):
+        t = step % rounds
+        # Alternate scratch pools so adjacent rounds can still overlap.
+        pool = pools[step % 2]
+        main.call(
+            round_modules[t].name,
+            *(
+                names["a"]
+                + names["b"]
+                + names["c"]
+                + names["d"]
+                + names["e"]
+                + schedule[min(t, len(schedule) - 1)]
+                + spare_name
+                + pool
+            ),
+        )
+        # The round left new_a in the spare slot and zeroed e.
+        new_a = spare_name
+        spare_name = names["e"]
+        names = {
+            "a": new_a,
+            "b": names["a"],
+            "c": rotate_names(names["b"], 30 % w),
+            "d": names["c"],
+            "e": names["d"],
+        }
+
+    for reg in "abcde":
+        for qubit in names[reg]:
+            main.apply("MEASZ", qubit)
+    return program

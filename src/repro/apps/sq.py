@@ -1,0 +1,195 @@
+"""Square Root (SQ) workload.
+
+Table 2: "Find square root of an n-bit number" via Grover search [32],
+parallelism factor ~1.5 -- a mostly-serial application.
+
+Grover iterations over an ``n``-bit search register ``x``.  The oracle
+computes ``x * x`` into a ``2n``-bit accumulator with reversible
+shift-and-add multiplication (partial products via Toffoli fans, CDKM
+ripple-carry accumulation), compares the accumulator against the target
+``N`` with a multi-controlled X onto a phase-kick qubit, then uncomputes
+the square.  The diffusion operator is the standard
+H/X/multi-controlled-Z sandwich.  Ripple carries make the workload
+serial: every adder threads a carry chain through the accumulator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..frontend.program import Module, Program
+from .arith import multi_controlled_x, ripple_add
+
+__all__ = ["SqParams", "build_sq", "grover_iteration_count"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SqParams:
+    """SQ instance parameters.
+
+    Attributes:
+        num_bits: Width n of the search register.
+        target: The number N whose square root is sought
+            (default: largest square representable, (2^n - 1)^2).
+        iterations: Grover iterations; default is the optimal
+            ``floor(pi/4 * sqrt(2^n))`` capped at ``max_iterations``.
+        max_iterations: Safety cap so generated circuits stay tractable.
+    """
+
+    num_bits: int = 3
+    target: int | None = None
+    iterations: int | None = None
+    max_iterations: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_bits < 2:
+            raise ValueError("num_bits must be >= 2")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if self.iterations is not None and self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if self.target is not None:
+            if not 0 <= self.target < 1 << (2 * self.num_bits):
+                raise ValueError(
+                    f"target {self.target} does not fit in "
+                    f"{2 * self.num_bits} bits"
+                )
+
+    @property
+    def resolved_target(self) -> int:
+        if self.target is not None:
+            return self.target
+        root = (1 << self.num_bits) - 1
+        return root * root
+
+    @property
+    def resolved_iterations(self) -> int:
+        if self.iterations is not None:
+            return self.iterations
+        optimal = max(1, math.floor(math.pi / 4 * math.sqrt(1 << self.num_bits)))
+        return min(optimal, self.max_iterations)
+
+
+def grover_iteration_count(num_bits: int) -> int:
+    """Optimal Grover iteration count for a 2^n search space."""
+    return max(1, math.floor(math.pi / 4 * math.sqrt(1 << num_bits)))
+
+
+def _square_module(program: Program, n: int, name: str) -> Module:
+    """Reversible ``acc += x * x`` (acc in |0> yields acc = x^2).
+
+    Self-inverse structure: calling the module on ``acc = x^2`` restores
+    zero only via the inverse network; we instead emit a dedicated
+    inverse module by replaying the (self-inverse) gate list reversed.
+    """
+    x = [f"x{i}" for i in range(n)]
+    acc = [f"acc{i}" for i in range(2 * n)]
+    pp = [f"pp{i}" for i in range(2 * n)]
+    carry = "sq_carry"
+    module = program.module(name, parameters=x + acc, locals_=pp + [carry])
+    for i in range(n):
+        # Load partial product x_i * (x << i) into the zero register pp.
+        # The diagonal bit uses x_i * x_i = x_i (a plain CNOT).
+        module.apply("CNOT", x[i], pp[2 * i])
+        for j in range(n):
+            if j != i:
+                module.apply("TOFFOLI", x[i], x[j], pp[i + j])
+        ripple_add(module, pp, acc, carry)
+        # Uncompute the partial product.
+        for j in range(n - 1, -1, -1):
+            if j != i:
+                module.apply("TOFFOLI", x[i], x[j], pp[i + j])
+        module.apply("CNOT", x[i], pp[2 * i])
+    return module
+
+
+def _inverse_of(program: Program, module: Module, name: str) -> Module:
+    """Build the inverse module by reversing and inverting the body."""
+    inverse = program.module(
+        name, parameters=list(module.parameters), locals_=list(module.locals_)
+    )
+    for op in reversed(module.body):
+        if not hasattr(op, "gate"):
+            raise ValueError("cannot invert a module containing calls")
+        spec = op.spec
+        inverse.apply(spec.inverse, *op.qubits, param=(
+            -op.param if op.param is not None else None
+        ))
+    return inverse
+
+
+def _oracle_module(
+    program: Program, params: SqParams, square: Module, unsquare: Module
+) -> Module:
+    """Phase-flip states with x*x == N."""
+    n = params.num_bits
+    x = [f"x{i}" for i in range(n)]
+    acc = [f"acc{i}" for i in range(2 * n)]
+    anc = [f"oracle_anc{i}" for i in range(max(1, 2 * n - 2))]
+    module = program.module(
+        "oracle", parameters=x + ["flag"], locals_=acc + anc
+    )
+    module.call(square.name, *(x + acc))
+    # flag ^= (acc == N); with flag in |->, this is a phase flip.
+    target = params.resolved_target
+    zero_positions = [acc[i] for i in range(2 * n) if not (target >> i) & 1]
+    for q in zero_positions:
+        module.apply("X", q)
+    multi_controlled_x(module, acc, "flag", anc)
+    for q in zero_positions:
+        module.apply("X", q)
+    module.call(unsquare.name, *(x + acc))
+    return module
+
+
+def _diffusion_module(program: Program, n: int) -> Module:
+    """Inversion about the mean on the search register."""
+    x = [f"x{i}" for i in range(n)]
+    anc = [f"diff_anc{i}" for i in range(max(1, n - 2))]
+    module = program.module("diffusion", parameters=x, locals_=anc)
+    for q in x:
+        module.apply("H", q)
+        module.apply("X", q)
+    # Multi-controlled Z on the all-ones state: H-conjugate the last bit.
+    module.apply("H", x[-1])
+    multi_controlled_x(module, x[:-1], x[-1], anc)
+    module.apply("H", x[-1])
+    for q in x:
+        module.apply("X", q)
+        module.apply("H", q)
+    return module
+
+
+def build_sq(params: SqParams | None = None) -> Program:
+    """Build the Grover square-root program."""
+    params = params or SqParams()
+    n = params.num_bits
+    program = Program("main")
+
+    square = _square_module(program, n, "square")
+    unsquare = _inverse_of(program, square, "unsquare")
+    oracle = _oracle_module(program, params, square, unsquare)
+    diffusion = _diffusion_module(program, n)
+
+    iteration = program.module(
+        "grover_iteration",
+        parameters=[f"x{i}" for i in range(n)] + ["flag"],
+    )
+    iteration.call(oracle.name, *iteration.parameters)
+    iteration.call(diffusion.name, *iteration.parameters[:-1])
+
+    x = [f"x{i}" for i in range(n)]
+    main = program.module("main", locals_=x + ["flag"])
+    for q in x:
+        main.apply("PREPZ", q)
+        main.apply("H", q)
+    # Phase-kick qubit in |->.
+    main.apply("PREPZ", "flag")
+    main.apply("X", "flag")
+    main.apply("H", "flag")
+    for _ in range(params.resolved_iterations):
+        main.call(iteration.name, *(x + ["flag"]))
+    for q in x:
+        main.apply("MEASZ", q)
+    return program

@@ -1,0 +1,12 @@
+"""Microarchitectures: Multi-SIMD (planar) and tiled (double-defect)."""
+
+from .multisimd import MultiSimdMachine, build_multisimd_machine, simd_schedule
+from .tiled import TiledMachine, build_tiled_machine
+
+__all__ = [
+    "MultiSimdMachine",
+    "build_multisimd_machine",
+    "simd_schedule",
+    "TiledMachine",
+    "build_tiled_machine",
+]

@@ -1,0 +1,150 @@
+"""Tiled architecture for double-defect QEC (Section 4.5, Figure 3b).
+
+"The tiled architecture assigns one tile per qubit, and opens channels
+between them to allow for communication braids. ... we reserve some
+tiles for continuous generation of magic states, to be braided to
+various points of use."
+
+The machine builder surrounds the data region with a ring of tiles and
+distributes magic-state factories around it, sized by the paper's
+ancilla-to-data balance, then drives the braid simulator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..partition.graph import interaction_graph_from_circuit
+from ..partition.layout import GridShape, Placement, grid_for, naive_layout, optimized_layout
+from ..qasm.circuit import Circuit
+from ..qasm.dag import CircuitDag
+from ..qec.codes import DOUBLE_DEFECT, SurfaceCode
+from ..network.braidsim import BraidSimConfig, BraidSimResult, simulate_braids
+from ..network.mesh import BraidMesh, Router
+from ..network.policies import POLICIES, Policy
+
+__all__ = ["TiledMachine", "build_tiled_machine"]
+
+DATA_TILES_PER_FACTORY = 8
+"""One magic-state factory serves ~8 data tiles (the 1:4 ancilla-to-data
+tile balance of Section 4.3, given a 12-tile factory amortized over its
+service region and shared EPR-free operation)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class TiledMachine:
+    """A sized tiled machine bound to one circuit.
+
+    Attributes:
+        circuit: The (flat, Clifford+T) program.
+        grid: Full tile grid (data interior + factory/channel ring).
+        placement: Data-qubit placement (interior tiles).
+        factory_routers: Braid endpoints of the factory tiles.
+        code: The double-defect code model.
+    """
+
+    circuit: Circuit
+    grid: GridShape
+    placement: Placement
+    factory_routers: tuple[Router, ...]
+    code: SurfaceCode
+
+    @property
+    def data_tiles(self) -> int:
+        return len(self.placement.positions)
+
+    @property
+    def total_tiles(self) -> int:
+        return self.grid.capacity
+
+    def physical_qubits(self, distance: int) -> int:
+        """Physical qubit footprint: every tile is a lattice region, and
+        factories are 12-tile blocks counted via their tile sites."""
+        factory_tiles = len(self.factory_routers) * 12
+        return (self.data_tiles + factory_tiles) * self.code.tile_qubits(
+            distance
+        )
+
+    def simulate(
+        self,
+        policy: Policy | int,
+        distance: int,
+        config: Optional[BraidSimConfig] = None,
+        dag: Optional[CircuitDag] = None,
+    ) -> BraidSimResult:
+        """Run the braid schedule simulation on this machine."""
+        mesh = BraidMesh(self.grid.rows, self.grid.cols)
+        return simulate_braids(
+            self.circuit,
+            self.placement,
+            mesh,
+            policy,
+            distance,
+            code=self.code,
+            factory_routers=self.factory_routers,
+            config=config,
+            dag=dag,
+        )
+
+
+def _ring_sites(grid: GridShape) -> list[tuple[int, int]]:
+    """Perimeter tile sites of a grid, clockwise from (0, 0)."""
+    rows, cols = grid.rows, grid.cols
+    sites = [(0, c) for c in range(cols)]
+    sites += [(r, cols - 1) for r in range(1, rows)]
+    if rows > 1:
+        sites += [(rows - 1, c) for c in range(cols - 2, -1, -1)]
+    if cols > 1:
+        sites += [(r, 0) for r in range(rows - 2, 0, -1)]
+    return sites
+
+
+def build_tiled_machine(
+    circuit: Circuit,
+    optimize_layout: bool = True,
+    code: SurfaceCode = DOUBLE_DEFECT,
+    factories: Optional[int] = None,
+) -> TiledMachine:
+    """Size and lay out a tiled machine for a circuit.
+
+    The data region is a near-square interior; a one-tile ring around it
+    carries braid channels and hosts ``factories`` magic-state factory
+    access points, spread evenly (Figure 3b's distributed factories).
+
+    Args:
+        circuit: Flat Clifford+T circuit.
+        optimize_layout: Apply the Section 6.2 interaction-aware layout
+            (policies 2+); otherwise program-order placement.
+        code: Surface code model (double-defect by default).
+        factories: Factory count; default scales with data tiles.
+    """
+    num_qubits = max(circuit.num_qubits, 1)
+    interior = grid_for(num_qubits)
+    grid = GridShape(interior.rows + 2, interior.cols + 2)
+    if optimize_layout:
+        graph = interaction_graph_from_circuit(circuit)
+        inner = optimized_layout(graph, interior)
+    else:
+        inner = naive_layout(circuit.qubits, interior)
+    positions = {
+        q: (r + 1, c + 1) for q, (r, c) in inner.positions.items()
+    }
+    placement = Placement(grid=grid, positions=positions)
+
+    if factories is None:
+        factories = max(2, round(num_qubits / DATA_TILES_PER_FACTORY))
+    ring = _ring_sites(grid)
+    stride = max(1, len(ring) // factories)
+    factory_tiles = [ring[(i * stride) % len(ring)] for i in range(factories)]
+    mesh = BraidMesh(grid.rows, grid.cols)
+    factory_routers = tuple(
+        dict.fromkeys(mesh.tile_router(t) for t in factory_tiles)
+    )
+    return TiledMachine(
+        circuit=circuit,
+        grid=grid,
+        placement=placement,
+        factory_routers=factory_routers,
+        code=code,
+    )

@@ -1,0 +1,151 @@
+"""Planar vs double-defect favorability analysis (Figure 8).
+
+"Favorability cross-over occurs where the space-time ratio
+(qubits x time) crosses 1" -- below the crossover size planar codes win
+(smaller tiles), above it double-defect codes win (braids beat swaps,
+unless congestion intervenes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional, Sequence
+
+from ..tech import Technology
+from .calibration import AppCalibration, calibrate_app
+from .resources import (
+    DEFAULT_CONSTANTS,
+    CommunicationConstants,
+    SpaceTimeEstimate,
+    estimate_double_defect,
+    estimate_planar,
+)
+
+__all__ = ["RatioPoint", "CrossoverAnalysis", "analyze_crossover", "sweep_sizes"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RatioPoint:
+    """Normalized resource usage at one computation size (Figure 8's
+    y-values: double-defect relative to the planar baseline)."""
+
+    computation_size: float
+    qubit_ratio: float
+    time_ratio: float
+    planar: SpaceTimeEstimate
+    double_defect: SpaceTimeEstimate
+
+    @property
+    def spacetime_ratio(self) -> float:
+        return self.qubit_ratio * self.time_ratio
+
+    @property
+    def planar_favored(self) -> bool:
+        return self.spacetime_ratio > 1.0
+
+
+@dataclasses.dataclass(frozen=True)
+class CrossoverAnalysis:
+    """Sweep result for one application/technology pair.
+
+    Attributes:
+        app_name: Application (variant) name.
+        points: Ratio points at the swept sizes.
+        crossover_size: Smallest swept size where double-defect wins
+            (None if planar wins everywhere in range).
+    """
+
+    app_name: str
+    points: tuple[RatioPoint, ...]
+    crossover_size: Optional[float]
+
+
+def _ratio_point(
+    calibration: AppCalibration,
+    size: float,
+    tech: Technology,
+    constants: CommunicationConstants,
+) -> RatioPoint:
+    planar = estimate_planar(calibration.scaling, size, tech, constants)
+    dd = estimate_double_defect(
+        calibration.scaling,
+        size,
+        tech,
+        congestion=calibration.braid_congestion,
+        constants=constants,
+    )
+    return RatioPoint(
+        computation_size=size,
+        qubit_ratio=dd.physical_qubits / planar.physical_qubits,
+        time_ratio=dd.seconds / planar.seconds,
+        planar=planar,
+        double_defect=dd,
+    )
+
+
+def sweep_sizes(
+    min_exponent: float = 0.5, max_exponent: float = 24.0, per_decade: int = 1
+) -> list[float]:
+    """Log-spaced computation sizes (Figure 8's x-axis, 1e0..1e24)."""
+    if max_exponent <= min_exponent:
+        raise ValueError("max_exponent must exceed min_exponent")
+    count = max(2, int((max_exponent - min_exponent) * per_decade) + 1)
+    step = (max_exponent - min_exponent) / (count - 1)
+    return [10 ** (min_exponent + i * step) for i in range(count)]
+
+
+def analyze_crossover(
+    app_name: str,
+    tech: Technology,
+    sizes: Optional[Sequence[float]] = None,
+    inline_depth: Optional[int] = None,
+    constants: CommunicationConstants = DEFAULT_CONSTANTS,
+    calibration: Optional[AppCalibration] = None,
+) -> CrossoverAnalysis:
+    """Compute Figure 8's normalized-ratio sweep and the crossover point.
+
+    The crossover is refined by bisection (in log-size) between the last
+    planar-favored and first double-defect-favored swept sizes.
+    """
+    calibration = calibration or calibrate_app(app_name, inline_depth)
+    swept = list(sizes) if sizes is not None else sweep_sizes()
+    points = tuple(
+        _ratio_point(calibration, size, tech, constants) for size in swept
+    )
+    crossover: Optional[float] = None
+    for earlier, later in zip(points, points[1:]):
+        if earlier.planar_favored and not later.planar_favored:
+            crossover = _bisect(
+                calibration,
+                tech,
+                constants,
+                math.log10(earlier.computation_size),
+                math.log10(later.computation_size),
+            )
+            break
+    if crossover is None and points and not points[0].planar_favored:
+        crossover = points[0].computation_size
+    label = app_name if inline_depth is None else f"{app_name}-inline{inline_depth}"
+    return CrossoverAnalysis(
+        app_name=label, points=points, crossover_size=crossover
+    )
+
+
+def _bisect(
+    calibration: AppCalibration,
+    tech: Technology,
+    constants: CommunicationConstants,
+    low_exp: float,
+    high_exp: float,
+    iterations: int = 40,
+) -> float:
+    """Log-space bisection for the spacetime-ratio-equals-1 boundary."""
+    for _ in range(iterations):
+        mid = (low_exp + high_exp) / 2
+        point = _ratio_point(calibration, 10**mid, tech, constants)
+        if point.planar_favored:
+            low_exp = mid
+        else:
+            high_exp = mid
+    return 10 ** ((low_exp + high_exp) / 2)

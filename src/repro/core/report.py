@@ -1,0 +1,142 @@
+"""Text-table renderers matching the paper's tables and figures."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..network.braidsim import BraidSimResult
+from .crossover import CrossoverAnalysis
+from .sensitivity import BoundaryLine
+
+__all__ = [
+    "format_table1",
+    "format_table2_rows",
+    "format_fig6",
+    "format_fig7",
+    "format_fig8",
+    "format_fig9",
+]
+
+
+def format_table1(
+    teleport_qubit_cost: float,
+    teleport_latency: float,
+    braid_qubit_cost: float,
+    braid_latency: float,
+) -> str:
+    """Table 1: communication tradeoff summary, with measured values."""
+
+    def level(value: float, other: float) -> str:
+        return "Low" if value < other else "High"
+
+    rows = [
+        ("", "Communication", "Space", "Time", "Prefetchable?"),
+        ("", "Method", "(Qubits)", "(Latency)", ""),
+        (
+            "Planar",
+            "Teleportation",
+            f"{level(teleport_qubit_cost, braid_qubit_cost)} "
+            f"({teleport_qubit_cost:.0f})",
+            f"{level(teleport_latency, braid_latency)} "
+            f"({teleport_latency:.0f} cyc)",
+            "Yes",
+        ),
+        (
+            "Double-Defect",
+            "Braiding",
+            f"{level(braid_qubit_cost, teleport_qubit_cost)} "
+            f"({braid_qubit_cost:.0f})",
+            f"{level(braid_latency, teleport_latency)} "
+            f"({braid_latency:.0f} cyc)",
+            "No",
+        ),
+    ]
+    widths = [max(len(r[i]) for r in rows) for i in range(5)]
+    return "\n".join(
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in rows
+    )
+
+
+def format_table2_rows(rows: Sequence[tuple[str, str, float, float]]) -> str:
+    """Table 2: (application, purpose, paper parallelism, measured)."""
+    header = (
+        f"{'Application':<28} {'Paper par.':>10} {'Measured par.':>14}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, _, paper, measured in rows:
+        lines.append(f"{name:<28} {paper:>10.1f} {measured:>14.1f}")
+    return "\n".join(lines)
+
+
+def format_fig6(
+    results: dict[str, dict[int, BraidSimResult]]
+) -> str:
+    """Figure 6: ratio and utilization per (application, policy)."""
+    lines = [
+        f"{'App':<8} {'Policy':>6} {'Sched/CP':>10} {'MeshUtil%':>10} "
+        f"{'Drops':>8} {'Adaptive':>9}"
+    ]
+    lines.append("-" * len(lines[0]))
+    for app, by_policy in results.items():
+        for policy in sorted(by_policy):
+            r = by_policy[policy]
+            lines.append(
+                f"{app:<8} {policy:>6} {r.schedule_to_critical_ratio:>10.2f} "
+                f"{r.mean_utilization * 100:>10.1f} {r.drops:>8} "
+                f"{r.adaptive_routes:>9}"
+            )
+    return "\n".join(lines)
+
+
+def format_fig7(
+    rows: Sequence[tuple[float, float, float, float, float]]
+) -> str:
+    """Figure 7: (size, planar_s, dd_s, planar_qubits, dd_qubits)."""
+    header = (
+        f"{'1/pL':>10} {'planar time(s)':>15} {'dd time(s)':>12} "
+        f"{'planar qubits':>14} {'dd qubits':>12}"
+    )
+    lines = [header, "-" * len(header)]
+    for size, pt, dt, pq, dq in rows:
+        lines.append(
+            f"{size:>10.1e} {pt:>15.3e} {dt:>12.3e} {pq:>14.3e} {dq:>12.3e}"
+        )
+    return "\n".join(lines)
+
+
+def format_fig8(analysis: CrossoverAnalysis) -> str:
+    """Figure 8: normalized double-defect/planar ratios per size."""
+    header = (
+        f"{'1/pL':>10} {'qubit ratio':>12} {'time ratio':>11} "
+        f"{'qubits x time':>14} {'favored':>14}"
+    )
+    lines = [f"[{analysis.app_name}]", header, "-" * len(header)]
+    for point in analysis.points:
+        lines.append(
+            f"{point.computation_size:>10.1e} {point.qubit_ratio:>12.2f} "
+            f"{point.time_ratio:>11.2f} {point.spacetime_ratio:>14.2f} "
+            f"{'planar' if point.planar_favored else 'double-defect':>14}"
+        )
+    if analysis.crossover_size is not None:
+        lines.append(f"cross-over point: 1/pL ~ {analysis.crossover_size:.2e}")
+    else:
+        lines.append("no cross-over in range (planar favored throughout)")
+    return "\n".join(lines)
+
+
+def format_fig9(lines_data: Sequence[BoundaryLine]) -> str:
+    """Figure 9: crossover boundary (1/pL) per (app, pP)."""
+    rates = lines_data[0].error_rates if lines_data else ()
+    header = f"{'pP':>8} " + " ".join(
+        f"{line.app_name:>18}" for line in lines_data
+    )
+    out = [header, "-" * len(header)]
+    for i, rate in enumerate(rates):
+        cells = []
+        for line in lines_data:
+            value: Optional[float] = line.crossover_sizes[i]
+            cells.append(f"{value:>18.1e}" if value is not None else
+                         f"{'> range':>18}")
+        out.append(f"{rate:>8.0e} " + " ".join(cells))
+    return "\n".join(out)

@@ -1,0 +1,91 @@
+"""Crossover-boundary sensitivity over physical error rates (Figure 9).
+
+Each application traces a boundary line in the (p_P, 1/p_L) plane:
+design points below the line favor planar codes, above it double-defect
+codes.  "Boundaries are generally higher for more parallel
+applications" because congestion hurts braids more.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from ..tech import technology_for_error_rate
+from .calibration import AppCalibration, calibrate_app
+from .crossover import analyze_crossover, sweep_sizes
+from .resources import DEFAULT_CONSTANTS, CommunicationConstants
+
+__all__ = ["BoundaryLine", "sweep_error_rates", "boundary_for_app",
+           "FIGURE9_VARIANTS"]
+
+FIGURE9_VARIANTS: tuple[tuple[str, Optional[int]], ...] = (
+    ("gse", None),
+    ("sq", None),
+    ("sha1", None),
+    ("im", 0),      # IM_Semi_Inlined
+    ("im", None),   # IM_Fully_Inlined
+)
+"""The five lines of Figure 9 (application, inline depth)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class BoundaryLine:
+    """One application's crossover boundary.
+
+    Attributes:
+        app_name: Application (variant) label.
+        error_rates: Swept physical error rates p_P.
+        crossover_sizes: Boundary computation size (1/p_L) per error
+            rate; None where planar wins across the whole size range.
+    """
+
+    app_name: str
+    error_rates: tuple[float, ...]
+    crossover_sizes: tuple[Optional[float], ...]
+
+    def as_rows(self) -> list[tuple[float, Optional[float]]]:
+        return list(zip(self.error_rates, self.crossover_sizes))
+
+
+def sweep_error_rates(
+    min_exponent: float = -8.0, max_exponent: float = -3.0, per_decade: int = 1
+) -> list[float]:
+    """Figure 9's x-axis: p_P from 1e-8 (future) to 1e-3 (current)."""
+    count = max(2, int((max_exponent - min_exponent) * per_decade) + 1)
+    step = (max_exponent - min_exponent) / (count - 1)
+    return [10 ** (min_exponent + i * step) for i in range(count)]
+
+
+def boundary_for_app(
+    app_name: str,
+    inline_depth: Optional[int] = None,
+    error_rates: Optional[Sequence[float]] = None,
+    sizes: Optional[Sequence[float]] = None,
+    constants: CommunicationConstants = DEFAULT_CONSTANTS,
+    calibration: Optional[AppCalibration] = None,
+) -> BoundaryLine:
+    """Trace one Figure 9 boundary line."""
+    calibration = calibration or calibrate_app(app_name, inline_depth)
+    rates = tuple(error_rates) if error_rates is not None else tuple(
+        sweep_error_rates()
+    )
+    swept = list(sizes) if sizes is not None else sweep_sizes()
+    crossovers: list[Optional[float]] = []
+    for rate in rates:
+        tech = technology_for_error_rate(rate)
+        analysis = analyze_crossover(
+            app_name,
+            tech,
+            sizes=swept,
+            inline_depth=inline_depth,
+            constants=constants,
+            calibration=calibration,
+        )
+        crossovers.append(analysis.crossover_size)
+    label = app_name if inline_depth is None else f"{app_name}-inline{inline_depth}"
+    return BoundaryLine(
+        app_name=label,
+        error_rates=rates,
+        crossover_sizes=tuple(crossovers),
+    )

@@ -1,0 +1,137 @@
+"""End-to-end toolflow (Figure 4): application -> physical estimate.
+
+``run_toolflow`` chains every stage the paper's Figure 4 depicts:
+frontend compilation (flatten, decompose, estimate), backend mapping
+(layout, machine construction), network simulation (braids for
+double-defect, SIMD schedule + EPR pipeline for planar), and the final
+space-time resource accounting for both codes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..apps.registry import get_app
+from ..apps.scaling import calibrate
+from ..arch.multisimd import MultiSimdMachine, build_multisimd_machine
+from ..arch.tiled import TiledMachine, build_tiled_machine
+from ..frontend.decompose import decompose_circuit
+from ..frontend.estimate import LogicalEstimate, estimate_circuit
+from ..network.braidsim import BraidSimResult
+from ..network.epr import EprPipelineResult
+from ..qasm.circuit import Circuit
+from ..qasm.dag import CircuitDag
+from ..qec.distance import choose_distance
+from ..tech import Technology
+from .calibration import AppCalibration, calibrate_app
+from .resources import (
+    DEFAULT_CONSTANTS,
+    CommunicationConstants,
+    SpaceTimeEstimate,
+    estimate_double_defect,
+    estimate_planar,
+)
+
+__all__ = ["ToolflowResult", "run_toolflow"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ToolflowResult:
+    """Everything the toolflow produces for one application instance.
+
+    Attributes:
+        circuit: The flat Clifford+T circuit.
+        logical: Frontend resource/parallelism estimate.
+        distance: Selected code distance.
+        tiled_machine: Sized double-defect machine.
+        braid_result: Braid network simulation outcome.
+        simd_machine: Sized Multi-SIMD machine.
+        epr_result: Pipelined EPR distribution outcome.
+        planar_estimate: Planar space-time estimate at this size.
+        double_defect_estimate: Double-defect space-time estimate.
+    """
+
+    circuit: Circuit
+    logical: LogicalEstimate
+    distance: int
+    tiled_machine: TiledMachine
+    braid_result: BraidSimResult
+    simd_machine: MultiSimdMachine
+    epr_result: EprPipelineResult
+    planar_estimate: SpaceTimeEstimate
+    double_defect_estimate: SpaceTimeEstimate
+
+    @property
+    def preferred_code(self) -> str:
+        """The code with the smaller qubits x time product."""
+        if (
+            self.planar_estimate.spacetime
+            <= self.double_defect_estimate.spacetime
+        ):
+            return self.planar_estimate.code_name
+        return self.double_defect_estimate.code_name
+
+
+def run_toolflow(
+    app_name: str,
+    size: Optional[int] = None,
+    tech: Optional[Technology] = None,
+    policy: int = 6,
+    regions: int = 4,
+    inline_depth: Optional[int] = None,
+    constants: CommunicationConstants = DEFAULT_CONSTANTS,
+) -> ToolflowResult:
+    """Run the full Figure 4 pipeline on one application instance.
+
+    Args:
+        app_name: Registry application name.
+        size: Problem size knob (app default if omitted).
+        tech: Technology preset (defaults to ``repro.INTERMEDIATE``).
+        policy: Braid scheduling policy for the tiled simulation.
+        regions: SIMD region count for the Multi-SIMD machine.
+        inline_depth: Flattening depth (None = full inlining).
+        constants: Communication model constants.
+    """
+    from ..tech import INTERMEDIATE
+
+    tech = tech or INTERMEDIATE
+    spec = get_app(app_name)
+    circuit = decompose_circuit(spec.circuit(size, inline_depth=inline_depth))
+    dag = CircuitDag(circuit)
+    logical = estimate_circuit(circuit, dag)
+    distance = choose_distance(logical.target_pl, tech)
+
+    tiled = build_tiled_machine(circuit, optimize_layout=True)
+    braid = tiled.simulate(policy, distance, dag=dag)
+
+    simd = build_multisimd_machine(circuit, regions=regions)
+    schedule = simd.schedule(dag)
+    epr = simd.epr_pipeline(schedule, distance)
+
+    calibration = AppCalibration(
+        scaling=calibrate(spec.name),
+        braid_congestion=max(1.0, braid.schedule_to_critical_ratio),
+        epr_overhead=max(0.0, epr.latency_overhead),
+    )
+    planar_est = estimate_planar(
+        calibration.scaling, logical.computation_size, tech, constants
+    )
+    dd_est = estimate_double_defect(
+        calibration.scaling,
+        logical.computation_size,
+        tech,
+        congestion=calibration.braid_congestion,
+        constants=constants,
+    )
+    return ToolflowResult(
+        circuit=circuit,
+        logical=logical,
+        distance=distance,
+        tiled_machine=tiled,
+        braid_result=braid,
+        simd_machine=simd,
+        epr_result=epr,
+        planar_estimate=planar_est,
+        double_defect_estimate=dd_est,
+    )

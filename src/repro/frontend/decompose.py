@@ -1,0 +1,162 @@
+"""Lowering composite gates to the fault-tolerant Clifford+T set.
+
+Surface codes natively implement Clifford operations and, via magic-state
+injection, T gates (Section 2.2).  Everything else must be decomposed
+before backend mapping:
+
+* ``TOFFOLI`` -> the standard 7-T, 6-CNOT network (Nielsen & Chuang
+  Fig. 4.9), the decomposition ScaffCC emits.
+* ``FREDKIN`` -> CNOT-conjugated Toffoli.
+* ``RZ(theta)`` -> a Clifford+T approximation sequence.  We model the
+  Ross--Selinger/gridsynth result: approximating to precision ``eps``
+  costs about ``3 * log2(1 / eps)`` T gates.  The emitted sequence is a
+  deterministic pseudo-random H/T/S word with exactly that T-count, which
+  preserves the resource footprint (T-count, depth, qubit locality) that
+  the paper's evaluation depends on without carrying a unitary synthesizer.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..qasm.circuit import Circuit, Operation
+
+__all__ = ["DecomposeConfig", "decompose_circuit", "rz_t_count"]
+
+DEFAULT_RZ_PRECISION = 1e-10
+
+
+class DecomposeConfig:
+    """Parameters of the lowering pass.
+
+    Attributes:
+        rz_precision: Target approximation error per RZ rotation.  The
+            frontend picks this to keep synthesis error comfortably below
+            the QEC logical error budget.
+    """
+
+    def __init__(self, rz_precision: float = DEFAULT_RZ_PRECISION) -> None:
+        if not 0 < rz_precision < 1:
+            raise ValueError(
+                f"rz_precision must be in (0, 1), got {rz_precision}"
+            )
+        self.rz_precision = rz_precision
+
+
+def rz_t_count(precision: float) -> int:
+    """T-count of a single-qubit RZ approximation at the given precision.
+
+    Uses the gridsynth scaling ``~ 3 * log2(1 / eps)`` (Ross & Selinger
+    2014), the standard estimate in resource studies.
+    """
+    if not 0 < precision < 1:
+        raise ValueError(f"precision must be in (0, 1), got {precision}")
+    return max(1, math.ceil(3 * math.log2(1.0 / precision)))
+
+
+def decompose_circuit(
+    circuit: Circuit, config: DecomposeConfig | None = None
+) -> Circuit:
+    """Return an equivalent circuit containing only Clifford+T gates.
+
+    Fences are preserved at their original positions (remapped to the
+    expanded operation indices).
+    """
+    config = config or DecomposeConfig()
+    out = Circuit(circuit.name, qubits=circuit.qubits)
+    fences = sorted(circuit.fences)
+    fence_cursor = 0
+    for index, op in enumerate(circuit):
+        while fence_cursor < len(fences) and fences[fence_cursor][0] <= index:
+            out.add_fence(fences[fence_cursor][1])
+            fence_cursor += 1
+        for lowered in _lower(op, config):
+            out.append(lowered)
+    while fence_cursor < len(fences):
+        out.add_fence(fences[fence_cursor][1])
+        fence_cursor += 1
+    return out
+
+
+def _lower(op: Operation, config: DecomposeConfig) -> list[Operation]:
+    if not op.spec.is_composite:
+        return [op]
+    if op.gate == "TOFFOLI":
+        return _toffoli(*op.qubits)
+    if op.gate == "FREDKIN":
+        return _fredkin(*op.qubits)
+    if op.gate == "RZ":
+        assert op.param is not None
+        return _rz(op.qubits[0], op.param, config.rz_precision)
+    raise NotImplementedError(f"no decomposition for {op.gate}")
+
+
+def _toffoli(c1: str, c2: str, target: str) -> list[Operation]:
+    """Standard 7-T Toffoli (controls c1, c2; target t)."""
+    seq = [
+        ("H", (target,)),
+        ("CNOT", (c2, target)),
+        ("TDG", (target,)),
+        ("CNOT", (c1, target)),
+        ("T", (target,)),
+        ("CNOT", (c2, target)),
+        ("TDG", (target,)),
+        ("CNOT", (c1, target)),
+        ("T", (c2,)),
+        ("T", (target,)),
+        ("H", (target,)),
+        ("CNOT", (c1, c2)),
+        ("T", (c1,)),
+        ("TDG", (c2,)),
+        ("CNOT", (c1, c2)),
+    ]
+    return [Operation(gate, qubits) for gate, qubits in seq]
+
+
+def _fredkin(control: str, a: str, b: str) -> list[Operation]:
+    """Controlled-swap as CNOT-conjugated Toffoli."""
+    return (
+        [Operation("CNOT", (b, a))]
+        + _toffoli(control, a, b)
+        + [Operation("CNOT", (b, a))]
+    )
+
+
+def _rz(qubit: str, angle: float, precision: float) -> list[Operation]:
+    """Deterministic Clifford+T word with the gridsynth T-count.
+
+    Angles that are exact multiples of pi/4 are synthesized exactly from
+    S/Z/T gates (these dominate Trotterized chemistry circuits after
+    angle folding); generic angles get the approximation word.
+    """
+    tau = angle % (2 * math.pi)
+    eighth_turns = tau / (math.pi / 4)
+    nearest = round(eighth_turns)
+    if abs(eighth_turns - nearest) < 1e-12:
+        return _exact_eighth_turn(qubit, nearest % 8)
+    t_count = rz_t_count(precision)
+    # Deterministic H (T|TDG) pattern keyed on the angle so equal angles
+    # produce equal words; alternation avoids merging adjacent T gates.
+    word: list[Operation] = []
+    state = int(abs(math.floor(angle * 1e9))) or 1
+    for _ in range(t_count):
+        state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        word.append(Operation("H", (qubit,)))
+        word.append(Operation("T" if state & (1 << 32) else "TDG", (qubit,)))
+    word.append(Operation("H", (qubit,)))
+    return word
+
+
+def _exact_eighth_turn(qubit: str, eighths: int) -> list[Operation]:
+    """Exact synthesis of RZ(k * pi/4) from {Z, S, SDG, T, TDG}."""
+    table: dict[int, list[str]] = {
+        0: [],
+        1: ["T"],
+        2: ["S"],
+        3: ["S", "T"],
+        4: ["Z"],
+        5: ["Z", "T"],
+        6: ["SDG"],
+        7: ["TDG"],
+    }
+    return [Operation(gate, (qubit,)) for gate in table[eighths]]

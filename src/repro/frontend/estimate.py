@@ -1,0 +1,133 @@
+"""Logical-level resource and parallelism estimation (Figure 4, frontend).
+
+The frontend's estimates drive two backend decisions (Section 5.3):
+
+* The **size of computation** (total logical operations K) sets the
+  target logical error rate: pL = budget / K for a 50% overall success
+  target.
+* The **parallelism factor** guides the network optimization policy and
+  the planar-vs-double-defect comparison.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Optional
+
+from ..qasm.circuit import Circuit
+from ..qasm.dag import CircuitDag
+from ..qasm.gates import GateKind
+
+__all__ = ["LogicalEstimate", "estimate_circuit", "target_logical_error_rate"]
+
+SUCCESS_TARGET = 0.5
+"""Paper Section 2.2: "50% is a typical correctness target"."""
+
+
+def target_logical_error_rate(
+    total_operations: int, success_target: float = SUCCESS_TARGET
+) -> float:
+    """Per-operation logical error budget for a computation of K ops.
+
+    An application executing K logical operations succeeds with
+    probability ``(1 - pL)^K >= success_target`` when
+    ``pL <= (1 - success_target) / K`` (first-order union bound, the
+    paper's "errors must not exceed 0.5e-12 for 1e12 operations").
+    """
+    if total_operations < 1:
+        raise ValueError(
+            f"total_operations must be >= 1, got {total_operations}"
+        )
+    if not 0 < success_target < 1:
+        raise ValueError(
+            f"success_target must be in (0, 1), got {success_target}"
+        )
+    return (1.0 - success_target) / total_operations
+
+
+@dataclasses.dataclass(frozen=True)
+class LogicalEstimate:
+    """Frontend summary of one application circuit.
+
+    Attributes:
+        name: Circuit name.
+        num_qubits: Logical data qubits used by the program.
+        total_operations: K, the size of computation (pre-QEC logical ops).
+        t_count: Magic-state-consuming operations (T/Tdg).
+        two_qubit_count: Operations requiring qubit-pair interaction.
+        measurement_count: Readout operations.
+        critical_path: Dependence-limited depth in logical cycles.
+        parallelism_factor: Table 2's ideal concurrency (K / depth).
+        gate_histogram: Mnemonic -> count.
+        target_pl: Logical error budget per operation.
+    """
+
+    name: str
+    num_qubits: int
+    total_operations: int
+    t_count: int
+    two_qubit_count: int
+    measurement_count: int
+    critical_path: int
+    parallelism_factor: float
+    gate_histogram: dict[str, int]
+    target_pl: float
+
+    @property
+    def computation_size(self) -> float:
+        """1 / pL, the x-axis of Figures 7 and 8."""
+        return 1.0 / self.target_pl
+
+    @property
+    def t_fraction(self) -> float:
+        """Fraction of operations that consume a magic state."""
+        if self.total_operations == 0:
+            return 0.0
+        return self.t_count / self.total_operations
+
+    @property
+    def communication_fraction(self) -> float:
+        """Fraction of operations that require qubit-pair communication.
+
+        Every 2-qubit gate is a braid (tiled) or teleport (Multi-SIMD),
+        and every T consumes a magic state delivered over the network, so
+        both count toward communication pressure.
+        """
+        if self.total_operations == 0:
+            return 0.0
+        return (self.two_qubit_count + self.t_count) / self.total_operations
+
+    def summary_row(self) -> str:
+        """One formatted row for Table 2-style reports."""
+        return (
+            f"{self.name:<16} {self.num_qubits:>7} {self.total_operations:>10} "
+            f"{self.t_count:>8} {self.critical_path:>10} "
+            f"{self.parallelism_factor:>11.1f}"
+        )
+
+
+def estimate_circuit(
+    circuit: Circuit,
+    dag: Optional[CircuitDag] = None,
+    success_target: float = SUCCESS_TARGET,
+) -> LogicalEstimate:
+    """Compute the frontend estimate for a flat circuit."""
+    dag = dag or CircuitDag(circuit)
+    histogram = Counter(op.gate for op in circuit)
+    total = len(circuit)
+    measurement_count = sum(
+        1 for op in circuit if op.spec.kind is GateKind.MEASUREMENT
+    )
+    return LogicalEstimate(
+        name=circuit.name,
+        num_qubits=circuit.num_qubits,
+        total_operations=total,
+        t_count=circuit.t_count,
+        two_qubit_count=circuit.two_qubit_count,
+        measurement_count=measurement_count,
+        critical_path=dag.critical_path_length,
+        parallelism_factor=dag.parallelism_factor,
+        gate_histogram=dict(histogram),
+        target_pl=target_logical_error_rate(max(total, 1), success_target),
+    )

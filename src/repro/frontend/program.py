@@ -1,0 +1,191 @@
+"""Hierarchical program representation: modules and calls.
+
+ScaffCC programs are hierarchical (C-like functions over qubit arrays);
+the frontend's "Module Flattening" stage (Figure 4) inlines them into
+flat QASM.  The *degree* of inlining matters: Section 7.3 evaluates the
+IM application with medium and maximal inlining, because "more code
+inlining creates more parallelism."
+
+A :class:`Program` is a set of named :class:`Module` bodies, each a list
+of operations and :class:`Call` sites.  :func:`repro.frontend.flatten`
+expands programs to circuits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Union
+
+from ..qasm.circuit import Operation
+
+__all__ = ["Call", "Module", "Program"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Call:
+    """A call site: invoke ``callee`` binding ``arguments`` to its formals."""
+
+    callee: str
+    arguments: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.callee:
+            raise ValueError("callee name must be non-empty")
+        if len(set(self.arguments)) != len(self.arguments):
+            raise ValueError(
+                f"call to {self.callee} has duplicate arguments: "
+                f"{self.arguments}"
+            )
+
+
+Statement = Union[Operation, Call]
+
+
+class Module:
+    """A named subroutine over formal qubit parameters and locals.
+
+    Attributes:
+        name: Module identifier.
+        parameters: Formal qubit parameter names.
+        locals_: Qubits private to each invocation (fresh per call).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parameters: Iterable[str] = (),
+        locals_: Iterable[str] = (),
+    ) -> None:
+        self.name = name
+        self.parameters = list(dict.fromkeys(parameters))
+        self.locals_ = list(dict.fromkeys(locals_))
+        overlap = set(self.parameters) & set(self.locals_)
+        if overlap:
+            raise ValueError(
+                f"module {name}: names {sorted(overlap)} are both "
+                "parameters and locals"
+            )
+        self.body: list[Statement] = []
+
+    @property
+    def declared_names(self) -> set[str]:
+        return set(self.parameters) | set(self.locals_)
+
+    def apply(self, gate: str, *qubits: str, param: float | None = None) -> None:
+        """Append a gate, checking operands are declared."""
+        self._check_names(qubits)
+        self.body.append(Operation(gate, tuple(qubits), param))
+
+    def call(self, callee: str, *arguments: str) -> None:
+        """Append a call site."""
+        self._check_names(arguments)
+        self.body.append(Call(callee, tuple(arguments)))
+
+    def _check_names(self, names: Iterable[str]) -> None:
+        unknown = [n for n in names if n not in self.declared_names]
+        if unknown:
+            raise ValueError(
+                f"module {self.name}: undeclared qubit(s) {unknown}; "
+                f"declared: {sorted(self.declared_names)}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"Module({self.name!r}, params={len(self.parameters)}, "
+            f"locals={len(self.locals_)}, statements={len(self.body)})"
+        )
+
+
+class Program:
+    """A closed set of modules with a designated entry point."""
+
+    def __init__(self, entry: str = "main") -> None:
+        self.entry = entry
+        self.modules: dict[str, Module] = {}
+
+    def add(self, module: Module) -> Module:
+        if module.name in self.modules:
+            raise ValueError(f"duplicate module {module.name!r}")
+        self.modules[module.name] = module
+        return module
+
+    def module(
+        self,
+        name: str,
+        parameters: Iterable[str] = (),
+        locals_: Iterable[str] = (),
+    ) -> Module:
+        """Create, register, and return a new module."""
+        return self.add(Module(name, parameters, locals_))
+
+    def validate(self) -> None:
+        """Check entry exists, all callees resolve, arities match, and the
+        call graph is acyclic (no recursion -- QC programs are fully
+        unrolled, Section 4.2's "execution trace is known in advance")."""
+        if self.entry not in self.modules:
+            raise ValueError(f"entry module {self.entry!r} not defined")
+        for module in self.modules.values():
+            for statement in module.body:
+                if isinstance(statement, Call):
+                    callee = self.modules.get(statement.callee)
+                    if callee is None:
+                        raise ValueError(
+                            f"module {module.name} calls undefined "
+                            f"{statement.callee!r}"
+                        )
+                    if len(statement.arguments) != len(callee.parameters):
+                        raise ValueError(
+                            f"call {module.name} -> {statement.callee}: "
+                            f"expected {len(callee.parameters)} args, got "
+                            f"{len(statement.arguments)}"
+                        )
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = {name: WHITE for name in self.modules}
+        stack: list[tuple[str, int]] = [(self.entry, 0)]
+        callees = {
+            name: [
+                s.callee for s in module.body if isinstance(s, Call)
+            ]
+            for name, module in self.modules.items()
+        }
+        color[self.entry] = GREY
+        while stack:
+            name, cursor = stack.pop()
+            if cursor < len(callees[name]):
+                stack.append((name, cursor + 1))
+                child = callees[name][cursor]
+                if color[child] == GREY:
+                    raise ValueError(
+                        f"recursive call cycle through {child!r}; quantum "
+                        "programs must be fully unrollable"
+                    )
+                if color[child] == WHITE:
+                    color[child] = GREY
+                    stack.append((child, 0))
+            else:
+                color[name] = BLACK
+
+    def call_depth(self) -> int:
+        """Maximum call-chain depth below the entry module."""
+        self.validate()
+        depth_cache: dict[str, int] = {}
+
+        def depth(name: str) -> int:
+            if name in depth_cache:
+                return depth_cache[name]
+            child_depths = [
+                depth(s.callee)
+                for s in self.modules[name].body
+                if isinstance(s, Call)
+            ]
+            result = 1 + max(child_depths, default=-1) + (0 if child_depths else 0)
+            depth_cache[name] = max(result, 0)
+            return depth_cache[name]
+
+        return depth(self.entry)
+
+    def __repr__(self) -> str:
+        return f"Program(entry={self.entry!r}, modules={len(self.modules)})"

@@ -1,0 +1,151 @@
+"""Logical-level scheduling (Figure 4: "Logical Schedule").
+
+Produces cycle-by-cycle schedules of logical operations before any
+error-correction or communication costs are applied:
+
+* :func:`asap_schedule` / :func:`alap_schedule` -- unconstrained
+  dependence-limited schedules.
+* :func:`list_schedule` -- resource-constrained list scheduling with a
+  per-cycle issue width (the number of SIMD regions in the Multi-SIMD
+  architecture) and a priority heuristic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import Callable, Optional
+
+from ..qasm.circuit import Circuit
+from ..qasm.dag import CircuitDag
+
+__all__ = ["LogicalSchedule", "asap_schedule", "alap_schedule", "list_schedule"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LogicalSchedule:
+    """A logical schedule: operation indices grouped per cycle.
+
+    Attributes:
+        circuit: The scheduled circuit.
+        cycles: ``cycles[t]`` lists operation indices issued at cycle t.
+    """
+
+    circuit: Circuit
+    cycles: tuple[tuple[int, ...], ...]
+
+    @property
+    def length(self) -> int:
+        """Total schedule length in logical cycles."""
+        return len(self.cycles)
+
+    @property
+    def num_operations(self) -> int:
+        return sum(len(cycle) for cycle in self.cycles)
+
+    @property
+    def width(self) -> int:
+        """Maximum operations issued in any single cycle."""
+        return max((len(cycle) for cycle in self.cycles), default=0)
+
+    @property
+    def mean_concurrency(self) -> float:
+        """Average issued operations per non-empty cycle."""
+        if not self.cycles:
+            return 0.0
+        return self.num_operations / self.length
+
+    def start_cycle(self, op_index: int) -> int:
+        for t, cycle in enumerate(self.cycles):
+            if op_index in cycle:
+                return t
+        raise KeyError(f"operation {op_index} not in schedule")
+
+    def validate(self, dag: Optional[CircuitDag] = None) -> None:
+        """Assert the schedule is a dependence-respecting partition."""
+        dag = dag or CircuitDag(self.circuit)
+        start: dict[int, int] = {}
+        for t, cycle in enumerate(self.cycles):
+            for op in cycle:
+                if op in start:
+                    raise AssertionError(f"operation {op} scheduled twice")
+                start[op] = t
+        if len(start) != len(self.circuit):
+            raise AssertionError(
+                f"schedule covers {len(start)} of {len(self.circuit)} ops"
+            )
+        for op, t in start.items():
+            for pred in dag.predecessors(op):
+                if start[pred] >= t:
+                    raise AssertionError(
+                        f"dependence violated: {pred} (cycle {start[pred]}) "
+                        f"must precede {op} (cycle {t})"
+                    )
+
+
+def asap_schedule(circuit: Circuit, dag: Optional[CircuitDag] = None) -> LogicalSchedule:
+    """As-soon-as-possible schedule (unbounded issue width)."""
+    dag = dag or CircuitDag(circuit)
+    return LogicalSchedule(
+        circuit, tuple(tuple(level) for level in dag.asap_levels())
+    )
+
+
+def alap_schedule(circuit: Circuit, dag: Optional[CircuitDag] = None) -> LogicalSchedule:
+    """As-late-as-possible schedule (unbounded issue width)."""
+    dag = dag or CircuitDag(circuit)
+    levels: dict[int, list[int]] = {}
+    for index in range(dag.num_nodes):
+        levels.setdefault(dag.alap_level(index), []).append(index)
+    return LogicalSchedule(
+        circuit, tuple(tuple(levels[k]) for k in sorted(levels))
+    )
+
+
+def list_schedule(
+    circuit: Circuit,
+    issue_width: int,
+    dag: Optional[CircuitDag] = None,
+    priority: Optional[Callable[[int], float]] = None,
+) -> LogicalSchedule:
+    """Priority list scheduling with a bounded per-cycle issue width.
+
+    Args:
+        circuit: Circuit to schedule.
+        issue_width: Maximum operations per cycle (e.g. number of SIMD
+            regions).  Must be >= 1.
+        dag: Optional pre-built dependence DAG.
+        priority: Ready-op ranking; *higher* values issue first.  Defaults
+            to criticality (transitive descendant count), the classic
+            longest-path-first heuristic.
+
+    Returns:
+        A :class:`LogicalSchedule` no shorter than the critical path and
+        no longer than ``ceil(ops / issue_width) + critical_path``.
+    """
+    if issue_width < 1:
+        raise ValueError(f"issue_width must be >= 1, got {issue_width}")
+    dag = dag or CircuitDag(circuit)
+    if priority is None:
+        priority = dag.criticality
+    remaining_preds = [dag.in_degree(i) for i in range(dag.num_nodes)]
+    # Heap of (-priority, index) for deterministic highest-priority-first.
+    ready = [(-priority(i), i) for i in dag.sources()]
+    heapq.heapify(ready)
+    cycles: list[tuple[int, ...]] = []
+    scheduled = 0
+    while scheduled < dag.num_nodes:
+        issued: list[int] = []
+        while ready and len(issued) < issue_width:
+            _, op = heapq.heappop(ready)
+            issued.append(op)
+        if not issued:
+            raise RuntimeError("no ready operations but work remains")
+        for op in issued:
+            for succ in dag.successors(op):
+                remaining_preds[succ] -= 1
+                if remaining_preds[succ] == 0:
+                    heapq.heappush(ready, (-priority(succ), succ))
+        cycles.append(tuple(issued))
+        scheduled += len(issued)
+    return LogicalSchedule(circuit, tuple(cycles))

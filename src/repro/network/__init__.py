@@ -1,0 +1,46 @@
+"""Communication substrate: braid mesh simulation and EPR pipelining."""
+
+from .braidsim import (
+    BraidSimConfig,
+    BraidSimResult,
+    BraidSimulator,
+    simulate_braids,
+)
+from .epr import (
+    EprDemand,
+    EprPipelineConfig,
+    EprPipelineResult,
+    demands_from_schedule,
+    simulate_epr_pipeline,
+)
+from .events import BraidSegment, OpTask, build_tasks
+from .mesh import BraidMesh, manhattan, path_links
+from .policies import ALL_POLICIES, POLICIES, Policy
+from .routing import alternative_paths, dor_path, find_free_path
+from .teleport import DEFAULT_TELEPORT_MODEL, TeleportModel
+
+__all__ = [
+    "BraidMesh",
+    "path_links",
+    "manhattan",
+    "dor_path",
+    "alternative_paths",
+    "find_free_path",
+    "BraidSegment",
+    "OpTask",
+    "build_tasks",
+    "Policy",
+    "POLICIES",
+    "ALL_POLICIES",
+    "BraidSimConfig",
+    "BraidSimResult",
+    "BraidSimulator",
+    "simulate_braids",
+    "TeleportModel",
+    "DEFAULT_TELEPORT_MODEL",
+    "EprDemand",
+    "EprPipelineConfig",
+    "EprPipelineResult",
+    "demands_from_schedule",
+    "simulate_epr_pipeline",
+]

@@ -1,0 +1,146 @@
+"""Circuit-switched 2D mesh for braid routing.
+
+Section 6.1: "the problem is reduced to simulating a mesh network, with
+braids as messages in this network ... the tile corners are routers."
+Braids claim every link of their route at once when opened and release
+them all when closed; links have capacity one (braids cannot cross,
+buffer, or share channels -- Section 4.1).
+
+Routers are the corners of a ``rows x cols`` tile grid, i.e. a
+``(rows+1) x (cols+1)`` node grid; the braid endpoint of tile (r, c) is
+its top-left corner router (r, c).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+__all__ = ["Router", "Link", "BraidMesh", "path_links", "manhattan"]
+
+Router = tuple[int, int]
+Link = frozenset  # frozenset of two adjacent Router nodes
+Owner = Hashable
+
+
+def path_links(path: Sequence[Router]) -> list[Link]:
+    """The links traversed by a router path.
+
+    Raises:
+        ValueError: If consecutive routers are not mesh neighbors.
+    """
+    links: list[Link] = []
+    for a, b in zip(path, path[1:]):
+        if abs(a[0] - b[0]) + abs(a[1] - b[1]) != 1:
+            raise ValueError(f"path step {a} -> {b} is not a mesh hop")
+        links.append(frozenset((a, b)))
+    return links
+
+
+def manhattan(a: Router, b: Router) -> int:
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+class BraidMesh:
+    """Link-occupancy state of the router grid.
+
+    Tracks which braid (by owner token) holds each link, plus cumulative
+    busy-link statistics for the utilization metric of Figure 6.
+    """
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError(f"mesh needs >= 1x1 tiles, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self.router_rows = rows + 1
+        self.router_cols = cols + 1
+        self._occupancy: dict[Link, Owner] = {}
+        self._busy_link_cycles = 0
+        self._observed_cycles = 0
+
+    # -- topology ------------------------------------------------------------
+
+    @property
+    def num_links(self) -> int:
+        horizontal = self.router_rows * (self.router_cols - 1)
+        vertical = (self.router_rows - 1) * self.router_cols
+        return horizontal + vertical
+
+    def in_bounds(self, router: Router) -> bool:
+        r, c = router
+        return 0 <= r < self.router_rows and 0 <= c < self.router_cols
+
+    def tile_router(self, tile: tuple[int, int]) -> Router:
+        """Braid endpoint router of a tile (its top-left corner)."""
+        r, c = tile
+        if not (0 <= r < self.rows and 0 <= c < self.cols):
+            raise ValueError(f"tile {tile} outside {self.rows}x{self.cols} grid")
+        return (r, c)
+
+    # -- occupancy ------------------------------------------------------------
+
+    def is_path_free(self, path: Sequence[Router]) -> bool:
+        """True when every link on the path is unclaimed and in bounds."""
+        if any(not self.in_bounds(r) for r in path):
+            return False
+        return all(link not in self._occupancy for link in path_links(path))
+
+    def claim(self, path: Sequence[Router], owner: Owner) -> None:
+        """Atomically claim all links of a route for ``owner``.
+
+        Raises:
+            ValueError: If any link is already claimed (claims must be
+                checked with :meth:`is_path_free` first) or the owner
+                already holds a route.
+        """
+        if owner in self._owner_index():
+            raise ValueError(f"owner {owner!r} already holds a route")
+        links = path_links(path)
+        for link in links:
+            if link in self._occupancy:
+                raise ValueError(f"link {set(link)} already claimed")
+        for link in links:
+            self._occupancy[link] = owner
+
+    def release(self, owner: Owner) -> int:
+        """Release every link held by ``owner``; returns links freed."""
+        mine = [link for link, who in self._occupancy.items() if who == owner]
+        for link in mine:
+            del self._occupancy[link]
+        return len(mine)
+
+    def owner_of(self, link: Link) -> Owner | None:
+        return self._occupancy.get(link)
+
+    def busy_links(self) -> int:
+        return len(self._occupancy)
+
+    def _owner_index(self) -> set[Owner]:
+        return set(self._occupancy.values())
+
+    # -- utilization accounting -------------------------------------------------
+
+    def observe_cycle(self) -> None:
+        """Record this cycle's busy-link count for utilization stats."""
+        self._busy_link_cycles += len(self._occupancy)
+        self._observed_cycles += 1
+
+    @property
+    def mean_utilization(self) -> float:
+        """Average fraction of busy links per observed cycle (Figure 6's
+        'Avg Mesh Utilization')."""
+        if self._observed_cycles == 0:
+            return 0.0
+        return self._busy_link_cycles / (
+            self._observed_cycles * self.num_links
+        )
+
+    def reset_stats(self) -> None:
+        self._busy_link_cycles = 0
+        self._observed_cycles = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"BraidMesh({self.rows}x{self.cols} tiles, "
+            f"{self.busy_links()}/{self.num_links} links busy)"
+        )

@@ -1,0 +1,115 @@
+"""Heavy-edge matching coarsening for the multilevel partitioner.
+
+The multilevel scheme (Karypis & Kumar [42], the METIS algorithm)
+repeatedly contracts a maximal matching that prefers heavy edges: each
+contraction halves the graph while preserving most of the cut structure,
+so a partition of the coarse graph projects to a good partition of the
+fine graph.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Hashable
+
+from .graph import InteractionGraph
+
+__all__ = ["CoarseLevel", "coarsen_once", "coarsen_to_size"]
+
+Node = Hashable
+
+
+@dataclasses.dataclass(frozen=True)
+class CoarseLevel:
+    """One level of the coarsening hierarchy.
+
+    Attributes:
+        graph: The coarsened graph.
+        projection: Coarse node -> tuple of fine nodes it absorbed.
+    """
+
+    graph: InteractionGraph
+    projection: dict[Node, tuple[Node, ...]]
+
+    def expand(self, coarse_assignment: dict[Node, int]) -> dict[Node, int]:
+        """Project a coarse partition assignment down to fine nodes."""
+        fine: dict[Node, int] = {}
+        for coarse_node, part in coarse_assignment.items():
+            for fine_node in self.projection[coarse_node]:
+                fine[fine_node] = part
+        return fine
+
+
+def coarsen_once(graph: InteractionGraph) -> CoarseLevel:
+    """Contract one maximal heavy-edge matching.
+
+    Visits nodes in descending weighted-degree order and matches each
+    unmatched node with its heaviest unmatched neighbor.  Unmatched
+    nodes survive as singletons.
+    """
+    matched: set[Node] = set()
+    merges: list[tuple[Node, Node]] = []
+    # Deterministic order: highest total interaction first, name-tiebreak.
+    order = sorted(
+        graph.nodes, key=lambda n: (-graph.degree(n), str(n))
+    )
+    for node in order:
+        if node in matched:
+            continue
+        candidates = [
+            (w, str(nbr), nbr)
+            for nbr, w in graph.neighbors(node).items()
+            if nbr not in matched
+        ]
+        if not candidates:
+            matched.add(node)
+            merges.append((node, node))
+            continue
+        candidates.sort(key=lambda item: (-item[0], item[1]))
+        partner = candidates[0][2]
+        matched.add(node)
+        matched.add(partner)
+        merges.append((node, partner))
+
+    coarse = InteractionGraph()
+    projection: dict[Node, tuple[Node, ...]] = {}
+    fine_to_coarse: dict[Node, Node] = {}
+    for index, (u, v) in enumerate(merges):
+        coarse_node = f"c{index}"
+        if u == v:
+            projection[coarse_node] = (u,)
+            weight = graph.node_weight(u)
+        else:
+            projection[coarse_node] = (u, v)
+            weight = graph.node_weight(u) + graph.node_weight(v)
+        coarse.add_node(coarse_node, weight)
+        for fine in projection[coarse_node]:
+            fine_to_coarse[fine] = coarse_node
+    for u, v, w in graph.edges():
+        cu, cv = fine_to_coarse[u], fine_to_coarse[v]
+        if cu != cv:
+            coarse.add_edge(cu, cv, w)
+    return CoarseLevel(graph=coarse, projection=projection)
+
+
+def coarsen_to_size(
+    graph: InteractionGraph, target_size: int, max_levels: int = 30
+) -> list[CoarseLevel]:
+    """Coarsen until at most ``target_size`` nodes (or no progress).
+
+    Returns the hierarchy finest-first; an empty list when the graph is
+    already small enough.
+    """
+    if target_size < 2:
+        raise ValueError(f"target_size must be >= 2, got {target_size}")
+    levels: list[CoarseLevel] = []
+    current = graph
+    for _ in range(max_levels):
+        if current.num_nodes <= target_size:
+            break
+        level = coarsen_once(current)
+        if level.graph.num_nodes >= current.num_nodes:
+            break  # no further contraction possible
+        levels.append(level)
+        current = level.graph
+    return levels

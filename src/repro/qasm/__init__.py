@@ -1,0 +1,24 @@
+"""Circuit IR substrate: gates, circuits, QASM parsing/writing, DAG analysis."""
+
+from .circuit import Circuit, Operation
+from .dag import CircuitDag
+from .gates import GATE_SPECS, GateKind, GateSpec, gate_spec, is_known_gate
+from .parser import QasmParseError, parse_flat_qasm, parse_openqasm2, parse_qasm
+from .writer import write_flat_qasm, write_openqasm2
+
+__all__ = [
+    "Circuit",
+    "Operation",
+    "CircuitDag",
+    "GateKind",
+    "GateSpec",
+    "GATE_SPECS",
+    "gate_spec",
+    "is_known_gate",
+    "parse_qasm",
+    "parse_flat_qasm",
+    "parse_openqasm2",
+    "QasmParseError",
+    "write_flat_qasm",
+    "write_openqasm2",
+]

@@ -1,0 +1,164 @@
+"""Logical gate set for the circuit IR.
+
+The paper's toolflow lowers applications to a "standard logical-level ISA
+known as QASM" (Section 5.3).  We model the fault-tolerant gate set that
+surface codes natively support, plus a handful of composite gates that the
+frontend decomposes (``repro.frontend.decompose``):
+
+* Clifford gates (H, X, Y, Z, S, Sdg, CNOT, CZ, SWAP) -- cheap transversal
+  or braid-implementable operations.
+* T / Tdg -- non-Clifford; each consumes one magic state from an ancilla
+  factory, which is the dominant communication driver in the paper.
+* PrepZ / PrepX / MeasZ / MeasX -- state preparation and measurement.
+* Composite gates (Toffoli, Fredkin, RZ) that must be decomposed before
+  backend mapping.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+__all__ = ["GateKind", "GateSpec", "GATE_SPECS", "gate_spec", "is_known_gate"]
+
+
+class GateKind(enum.Enum):
+    """Coarse classification used by scheduling and cost models."""
+
+    CLIFFORD_1Q = "clifford_1q"
+    CLIFFORD_2Q = "clifford_2q"
+    NON_CLIFFORD = "non_clifford"
+    PREPARATION = "preparation"
+    MEASUREMENT = "measurement"
+    COMPOSITE = "composite"
+
+
+@dataclasses.dataclass(frozen=True)
+class GateSpec:
+    """Static properties of a gate name.
+
+    Attributes:
+        name: Canonical upper-case mnemonic (e.g. ``"CNOT"``).
+        arity: Number of qubit operands.
+        kind: Coarse class for cost models.
+        consumes_magic_state: True for T-like gates that require a magic
+            state ancilla delivered from a factory (Section 4.3).
+        self_inverse: True when the gate is its own inverse.
+        inverse_name: Canonical name of the inverse gate.
+        parametric: True when the gate carries a classical parameter
+            (e.g. ``RZ(theta)``).
+    """
+
+    name: str
+    arity: int
+    kind: GateKind
+    consumes_magic_state: bool = False
+    self_inverse: bool = False
+    inverse_name: Optional[str] = None
+    parametric: bool = False
+
+    def __post_init__(self) -> None:
+        if self.arity < 1:
+            raise ValueError(f"gate {self.name} must have arity >= 1")
+
+    @property
+    def is_two_qubit(self) -> bool:
+        return self.arity == 2
+
+    @property
+    def is_composite(self) -> bool:
+        return self.kind is GateKind.COMPOSITE
+
+    @property
+    def inverse(self) -> str:
+        """Name of the inverse gate (self for self-inverse gates)."""
+        if self.self_inverse:
+            return self.name
+        if self.inverse_name is None:
+            raise ValueError(f"gate {self.name} has no declared inverse")
+        return self.inverse_name
+
+
+def _spec(*args, **kwargs) -> GateSpec:
+    return GateSpec(*args, **kwargs)
+
+
+GATE_SPECS: dict[str, GateSpec] = {
+    spec.name: spec
+    for spec in [
+        # --- 1-qubit Cliffords -------------------------------------------
+        _spec("H", 1, GateKind.CLIFFORD_1Q, self_inverse=True),
+        _spec("X", 1, GateKind.CLIFFORD_1Q, self_inverse=True),
+        _spec("Y", 1, GateKind.CLIFFORD_1Q, self_inverse=True),
+        _spec("Z", 1, GateKind.CLIFFORD_1Q, self_inverse=True),
+        _spec("S", 1, GateKind.CLIFFORD_1Q, inverse_name="SDG"),
+        _spec("SDG", 1, GateKind.CLIFFORD_1Q, inverse_name="S"),
+        # --- 2-qubit Cliffords -------------------------------------------
+        _spec("CNOT", 2, GateKind.CLIFFORD_2Q, self_inverse=True),
+        _spec("CZ", 2, GateKind.CLIFFORD_2Q, self_inverse=True),
+        _spec("SWAP", 2, GateKind.CLIFFORD_2Q, self_inverse=True),
+        # --- non-Clifford -------------------------------------------------
+        _spec(
+            "T",
+            1,
+            GateKind.NON_CLIFFORD,
+            consumes_magic_state=True,
+            inverse_name="TDG",
+        ),
+        _spec(
+            "TDG",
+            1,
+            GateKind.NON_CLIFFORD,
+            consumes_magic_state=True,
+            inverse_name="T",
+        ),
+        # --- preparation / measurement ------------------------------------
+        _spec("PREPZ", 1, GateKind.PREPARATION),
+        _spec("PREPX", 1, GateKind.PREPARATION),
+        _spec("MEASZ", 1, GateKind.MEASUREMENT),
+        _spec("MEASX", 1, GateKind.MEASUREMENT),
+        # --- composites (must be decomposed before mapping) ---------------
+        _spec("TOFFOLI", 3, GateKind.COMPOSITE, self_inverse=True),
+        _spec("FREDKIN", 3, GateKind.COMPOSITE, self_inverse=True),
+        _spec("RZ", 1, GateKind.COMPOSITE, parametric=True),
+    ]
+}
+
+_ALIASES = {
+    "CX": "CNOT",
+    "TDAG": "TDG",
+    "SDAG": "SDG",
+    "CCX": "TOFFOLI",
+    "CCNOT": "TOFFOLI",
+    "CSWAP": "FREDKIN",
+    "MEASURE": "MEASZ",
+    "PREP": "PREPZ",
+}
+
+
+def canonical_gate_name(name: str) -> str:
+    """Map a raw mnemonic (any case, aliases allowed) to canonical form."""
+    upper = name.upper()
+    return _ALIASES.get(upper, upper)
+
+
+def gate_spec(name: str) -> GateSpec:
+    """Look up the :class:`GateSpec` for a mnemonic.
+
+    Raises:
+        KeyError: If the gate name is not part of the supported ISA.
+    """
+    canonical = canonical_gate_name(name)
+    try:
+        return GATE_SPECS[canonical]
+    except KeyError:
+        raise KeyError(
+            f"unknown gate {name!r}; supported gates: "
+            f"{sorted(GATE_SPECS)}"
+        ) from None
+
+
+def is_known_gate(name: str) -> bool:
+    """True when ``name`` (case-insensitive, aliases allowed) is in the ISA."""
+    return canonical_gate_name(name) in GATE_SPECS

@@ -1,0 +1,308 @@
+"""QASM text parser.
+
+Two dialects are supported, auto-detected per file:
+
+1. **Flat QASM** (the qasm-tools format cited by the paper [16, 17])::
+
+       # comment
+       qubit data0
+       qubit data1
+       H data0
+       CNOT data0,data1
+       T data1
+       MeasZ data0
+
+2. A practical subset of **OpenQASM 2.0**::
+
+       OPENQASM 2.0;
+       include "qelib1.inc";
+       qreg q[3];
+       creg c[3];
+       h q[0];
+       cx q[0],q[1];
+       rz(0.25) q[2];
+       measure q[0] -> c[0];
+
+Unsupported OpenQASM features (gate definitions, conditionals, barriers)
+raise :class:`QasmParseError` with line/column context rather than being
+silently skipped, except ``barrier`` which is ignored by design (it has
+no backend meaning in this toolflow).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .circuit import Circuit, Operation
+from .gates import is_known_gate
+
+__all__ = ["QasmParseError", "parse_qasm", "parse_flat_qasm", "parse_openqasm2"]
+
+
+class QasmParseError(ValueError):
+    """Raised on malformed QASM input, with 1-based line context."""
+
+    def __init__(self, message: str, line_number: int, line: str = "") -> None:
+        context = f" (line {line_number}: {line.strip()!r})" if line else (
+            f" (line {line_number})"
+        )
+        super().__init__(message + context)
+        self.line_number = line_number
+
+
+_OPENQASM_GATE_MAP = {
+    "h": "H",
+    "x": "X",
+    "y": "Y",
+    "z": "Z",
+    "s": "S",
+    "sdg": "SDG",
+    "t": "T",
+    "tdg": "TDG",
+    "cx": "CNOT",
+    "cz": "CZ",
+    "swap": "SWAP",
+    "ccx": "TOFFOLI",
+    "cswap": "FREDKIN",
+    "rz": "RZ",
+}
+
+_EXPR_TOKEN = re.compile(r"^[\d\.\+\-\*/\(\)epi\s]+$", re.IGNORECASE)
+
+
+def parse_qasm(text: str, name: str = "qasm") -> Circuit:
+    """Parse QASM text in either supported dialect."""
+    stripped = text.lstrip()
+    if stripped.upper().startswith("OPENQASM"):
+        return parse_openqasm2(text, name=name)
+    return parse_flat_qasm(text, name=name)
+
+
+# --------------------------------------------------------------------------
+# Flat QASM
+# --------------------------------------------------------------------------
+
+
+def parse_flat_qasm(text: str, name: str = "qasm") -> Circuit:
+    """Parse the flat one-instruction-per-line dialect."""
+    circuit = Circuit(name)
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split(None, 1)
+        mnemonic = tokens[0]
+        rest = tokens[1] if len(tokens) > 1 else ""
+        if mnemonic.lower() in ("qubit", "cbit"):
+            if not rest:
+                raise QasmParseError("missing qubit name", line_number, raw)
+            if mnemonic.lower() == "qubit":
+                circuit.add_qubit(rest.strip())
+            continue
+        _append_flat_instruction(circuit, mnemonic, rest, line_number, raw)
+    return circuit
+
+
+def _append_flat_instruction(
+    circuit: Circuit, mnemonic: str, rest: str, line_number: int, raw: str
+) -> None:
+    param = None
+    match = re.match(r"^([A-Za-z]+)\(([^)]*)\)$", mnemonic)
+    if match:
+        mnemonic = match.group(1)
+        param = _evaluate_param(match.group(2), line_number, raw)
+    if not is_known_gate(mnemonic):
+        raise QasmParseError(f"unknown gate {mnemonic!r}", line_number, raw)
+    operands = tuple(q.strip() for q in rest.split(",") if q.strip())
+    if not operands:
+        raise QasmParseError(
+            f"gate {mnemonic!r} has no operands", line_number, raw
+        )
+    try:
+        circuit.append(Operation(mnemonic, operands, param))
+    except (ValueError, KeyError) as exc:
+        raise QasmParseError(str(exc), line_number, raw) from exc
+
+
+# --------------------------------------------------------------------------
+# OpenQASM 2.0 subset
+# --------------------------------------------------------------------------
+
+
+def parse_openqasm2(text: str, name: str = "qasm") -> Circuit:
+    """Parse the OpenQASM 2.0 subset described in the module docstring."""
+    circuit = Circuit(name)
+    registers: dict[str, int] = {}
+    # Statements are semicolon-terminated; keep line numbers by scanning
+    # line-by-line and joining continuations.
+    pending = ""
+    pending_start = 1
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("//", 1)[0].strip()
+        if not line:
+            continue
+        if not pending:
+            pending_start = line_number
+        pending += " " + line
+        while ";" in pending:
+            statement, pending = pending.split(";", 1)
+            statement = statement.strip()
+            if statement:
+                _parse_openqasm_statement(
+                    circuit, registers, statement, pending_start
+                )
+            pending_start = line_number
+        pending = pending.strip()
+    if pending:
+        raise QasmParseError(
+            f"unterminated statement {pending!r}", pending_start
+        )
+    return circuit
+
+
+def _parse_openqasm_statement(
+    circuit: Circuit,
+    registers: dict[str, int],
+    statement: str,
+    line_number: int,
+) -> None:
+    lowered = statement.lower()
+    if lowered.startswith("openqasm") or lowered.startswith("include"):
+        return
+    if lowered.startswith("creg") or lowered.startswith("barrier"):
+        return
+    if lowered.startswith("qreg"):
+        match = re.match(r"qreg\s+(\w+)\s*\[\s*(\d+)\s*\]", statement, re.I)
+        if not match:
+            raise QasmParseError("malformed qreg", line_number, statement)
+        reg, size = match.group(1), int(match.group(2))
+        registers[reg] = size
+        for i in range(size):
+            circuit.add_qubit(f"{reg}{i}")
+        return
+    if lowered.startswith("measure"):
+        match = re.match(
+            r"measure\s+(\w+)\s*(?:\[\s*(\d+)\s*\])?\s*(?:->.*)?$",
+            statement,
+            re.I,
+        )
+        if not match:
+            raise QasmParseError("malformed measure", line_number, statement)
+        for qubit in _expand_operand(
+            match.group(1), match.group(2), registers, line_number, statement
+        ):
+            circuit.apply("MEASZ", qubit)
+        return
+    if lowered.startswith("reset"):
+        match = re.match(
+            r"reset\s+(\w+)\s*(?:\[\s*(\d+)\s*\])?$", statement, re.I
+        )
+        if not match:
+            raise QasmParseError("malformed reset", line_number, statement)
+        for qubit in _expand_operand(
+            match.group(1), match.group(2), registers, line_number, statement
+        ):
+            circuit.apply("PREPZ", qubit)
+        return
+    _parse_openqasm_gate(circuit, registers, statement, line_number)
+
+
+def _parse_openqasm_gate(
+    circuit: Circuit,
+    registers: dict[str, int],
+    statement: str,
+    line_number: int,
+) -> None:
+    match = re.match(
+        r"^(\w+)\s*(?:\(([^)]*)\))?\s+(.+)$", statement
+    )
+    if not match:
+        raise QasmParseError("malformed gate statement", line_number, statement)
+    mnemonic, param_text, operand_text = match.groups()
+    gate = _OPENQASM_GATE_MAP.get(mnemonic.lower())
+    if gate is None:
+        raise QasmParseError(
+            f"unsupported OpenQASM gate {mnemonic!r}", line_number, statement
+        )
+    param = None
+    if param_text is not None:
+        param = _evaluate_param(param_text, line_number, statement)
+    operand_specs = [o.strip() for o in operand_text.split(",")]
+    expanded: list[list[str]] = []
+    for operand in operand_specs:
+        op_match = re.match(r"^(\w+)\s*(?:\[\s*(\d+)\s*\])?$", operand)
+        if not op_match:
+            raise QasmParseError(
+                f"malformed operand {operand!r}", line_number, statement
+            )
+        expanded.append(
+            _expand_operand(
+                op_match.group(1),
+                op_match.group(2),
+                registers,
+                line_number,
+                statement,
+            )
+        )
+    # Broadcast whole-register operands (e.g. ``h q;``) like OpenQASM does.
+    lengths = {len(group) for group in expanded if len(group) > 1}
+    if len(lengths) > 1:
+        raise QasmParseError(
+            "mismatched register broadcast lengths", line_number, statement
+        )
+    width = lengths.pop() if lengths else 1
+    for i in range(width):
+        qubits = tuple(
+            group[i] if len(group) > 1 else group[0] for group in expanded
+        )
+        try:
+            circuit.append(Operation(gate, qubits, param))
+        except (ValueError, KeyError) as exc:
+            raise QasmParseError(str(exc), line_number, statement) from exc
+
+
+def _expand_operand(
+    register: str,
+    index: str | None,
+    registers: dict[str, int],
+    line_number: int,
+    statement: str,
+) -> list[str]:
+    if register not in registers:
+        raise QasmParseError(
+            f"unknown register {register!r}", line_number, statement
+        )
+    if index is not None:
+        i = int(index)
+        if i >= registers[register]:
+            raise QasmParseError(
+                f"index {i} out of range for {register}[{registers[register]}]",
+                line_number,
+                statement,
+            )
+        return [f"{register}{i}"]
+    return [f"{register}{i}" for i in range(registers[register])]
+
+
+def _evaluate_param(expr: str, line_number: int, raw: str) -> float:
+    """Evaluate a restricted arithmetic parameter expression (pi allowed)."""
+    text = expr.strip()
+    if not text:
+        raise QasmParseError("empty parameter", line_number, raw)
+    if not _EXPR_TOKEN.match(text):
+        raise QasmParseError(
+            f"unsupported parameter expression {expr!r}", line_number, raw
+        )
+    try:
+        return float(
+            eval(  # noqa: S307 -- input restricted to arithmetic by regex
+                text.replace("pi", repr(math.pi)),
+                {"__builtins__": {}},
+                {"e": math.e},
+            )
+        )
+    except Exception as exc:
+        raise QasmParseError(
+            f"cannot evaluate parameter {expr!r}", line_number, raw
+        ) from exc

@@ -1,0 +1,85 @@
+"""QASM serialization: the inverse of :mod:`repro.qasm.parser`.
+
+``write_flat_qasm`` emits the flat dialect such that
+``parse_qasm(write_flat_qasm(c))`` reproduces the circuit exactly
+(qubit order, operation order, parameters).  This round-trip property is
+enforced by property-based tests.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .circuit import Circuit
+
+__all__ = ["write_flat_qasm", "write_openqasm2"]
+
+_OPENQASM_NAMES = {
+    "H": "h",
+    "X": "x",
+    "Y": "y",
+    "Z": "z",
+    "S": "s",
+    "SDG": "sdg",
+    "T": "t",
+    "TDG": "tdg",
+    "CNOT": "cx",
+    "CZ": "cz",
+    "SWAP": "swap",
+    "TOFFOLI": "ccx",
+    "FREDKIN": "cswap",
+    "RZ": "rz",
+}
+
+
+def write_flat_qasm(circuit: Circuit) -> str:
+    """Serialize to the flat dialect (one declaration/instruction per line)."""
+    lines = [f"# {circuit.name}"]
+    for qubit in circuit.qubits:
+        lines.append(f"qubit {qubit}")
+    for op in circuit:
+        if op.param is not None:
+            lines.append(f"{op.gate}({op.param!r}) {','.join(op.qubits)}")
+        else:
+            lines.append(f"{op.gate} {','.join(op.qubits)}")
+    return "\n".join(lines) + "\n"
+
+
+def write_openqasm2(circuit: Circuit) -> str:
+    """Serialize to OpenQASM 2.0.
+
+    Qubit names are mapped to a single register ``q[i]`` indexed by
+    registration order; a comment records the original names.  PrepX and
+    MeasX have no direct OpenQASM 2 primitive, so they are lowered to an
+    H-conjugated reset/measure.
+    """
+    index = {name: i for i, name in enumerate(circuit.qubits)}
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"// circuit: {circuit.name}",
+    ]
+    for name, i in index.items():
+        if not re.fullmatch(r"q\d+", name):
+            lines.append(f"// q[{i}] was {name}")
+    lines.append(f"qreg q[{max(len(index), 1)}];")
+    lines.append(f"creg c[{max(len(index), 1)}];")
+    for op in circuit:
+        operands = ", ".join(f"q[{index[q]}]" for q in op.qubits)
+        if op.gate == "MEASZ":
+            lines.append(f"measure {operands} -> c[{index[op.qubits[0]]}];")
+        elif op.gate == "MEASX":
+            lines.append(f"h {operands};")
+            lines.append(f"measure {operands} -> c[{index[op.qubits[0]]}];")
+        elif op.gate == "PREPZ":
+            lines.append(f"reset {operands};")
+        elif op.gate == "PREPX":
+            lines.append(f"reset {operands};")
+            lines.append(f"h {operands};")
+        elif op.param is not None:
+            lines.append(
+                f"{_OPENQASM_NAMES[op.gate]}({op.param!r}) {operands};"
+            )
+        else:
+            lines.append(f"{_OPENQASM_NAMES[op.gate]} {operands};")
+    return "\n".join(lines) + "\n"

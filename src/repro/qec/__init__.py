@@ -1,0 +1,37 @@
+"""Surface code substrate: code models, distance selection, factories."""
+
+from .codes import DOUBLE_DEFECT, PLANAR, CommunicationStyle, SurfaceCode
+from .distance import (
+    FOWLER_PREFACTOR,
+    choose_distance,
+    logical_error_rate,
+    max_computation_size,
+)
+from .lattice_surgery import DEFAULT_LATTICE_SURGERY, LatticeSurgeryModel
+from .factories import (
+    DEFAULT_ANCILLA_TO_DATA_RATIO,
+    EPR_FACTORY,
+    MAGIC_STATE_FACTORY,
+    FactoryModel,
+    ancilla_region_tiles,
+    factories_needed,
+)
+
+__all__ = [
+    "SurfaceCode",
+    "CommunicationStyle",
+    "PLANAR",
+    "DOUBLE_DEFECT",
+    "choose_distance",
+    "logical_error_rate",
+    "max_computation_size",
+    "FOWLER_PREFACTOR",
+    "FactoryModel",
+    "MAGIC_STATE_FACTORY",
+    "EPR_FACTORY",
+    "factories_needed",
+    "ancilla_region_tiles",
+    "DEFAULT_ANCILLA_TO_DATA_RATIO",
+    "LatticeSurgeryModel",
+    "DEFAULT_LATTICE_SURGERY",
+]

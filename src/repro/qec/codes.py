@@ -1,0 +1,131 @@
+"""Planar and double-defect surface code models.
+
+Section 2.3.1 describes the two encodings; Sections 4.4/4.5 their
+microarchitectures.  The models here capture what the paper's
+evaluation depends on:
+
+* **Tile footprint** -- physical qubits per logical qubit at distance d.
+  Planar tiles are smaller: a distance-d planar lattice is a
+  (2d-1) x (2d-1) patch [10, 18].  A double-defect logical qubit needs
+  two defects plus separation and perimeter at the same effective
+  distance, a ~2.5d-pitch square region (Fowler et al. [27]), roughly
+  3x the planar footprint -- "planar tiles are smaller (i.e. fewer
+  qubits needed for the same code distance)" (Section 3).
+* **Logical operation latencies** in error-correction cycles.
+* **Communication style** -- teleportation (prefetchable, per-hop swap
+  latency) vs braiding (1-cycle any-length path claim, not
+  prefetchable): Table 1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+
+from ..qasm.gates import GateKind
+
+__all__ = ["CommunicationStyle", "SurfaceCode", "PLANAR", "DOUBLE_DEFECT"]
+
+
+class CommunicationStyle(enum.Enum):
+    """Table 1's two communication methods."""
+
+    TELEPORTATION = "teleportation"
+    BRAIDING = "braiding"
+
+    @property
+    def prefetchable(self) -> bool:
+        """Only teleportation's EPR step can be prefetched (Table 1)."""
+        return self is CommunicationStyle.TELEPORTATION
+
+
+@dataclasses.dataclass(frozen=True)
+class SurfaceCode:
+    """One surface code variant's cost model.
+
+    Attributes:
+        name: ``"planar"`` or ``"double-defect"``.
+        communication: Teleportation or braiding.
+        tile_area_factor: Physical qubits per tile = factor * d^2
+            (leading order; :meth:`tile_qubits` applies the exact shape).
+        cycles_clifford_1q: Logical 1-qubit Clifford latency (cycles).
+        cycles_clifford_2q: Logical 2-qubit latency excluding
+            communication (cycles); braid stabilization costs d per
+            braid segment, captured by :meth:`two_qubit_cycles`.
+        cycles_measure: Logical measurement latency (cycles).
+        cycles_t_overhead: Extra cycles for magic-state interaction on
+            top of the 2-qubit cost.
+    """
+
+    name: str
+    communication: CommunicationStyle
+    tile_area_factor: float
+    cycles_clifford_1q: float
+    cycles_clifford_2q: float
+    cycles_measure: float
+    cycles_t_overhead: float
+
+    def tile_qubits(self, distance: int) -> int:
+        """Physical qubits per logical tile at the given distance."""
+        if distance < 1:
+            raise ValueError(f"distance must be >= 1, got {distance}")
+        if self.communication is CommunicationStyle.TELEPORTATION:
+            # Planar patch: d^2 data + (d^2 - 1)-ish syndrome = (2d-1)^2.
+            return (2 * distance - 1) ** 2
+        # Double-defect: 2.5d x 2.5d cell region, 2 physical qubits per
+        # cell (data + syndrome).
+        return math.ceil(self.tile_area_factor * distance**2)
+
+    def two_qubit_cycles(self, distance: int) -> float:
+        """Latency of a logical 2-qubit op excluding network contention.
+
+        For braiding this is the Figure 5 sequence: two braid segments,
+        each held d cycles for syndrome stabilization, plus open/close.
+        For planar codes lattice operations are transversal but a
+        logical CNOT still needs d rounds of stabilization.
+        """
+        if self.communication is CommunicationStyle.BRAIDING:
+            return 2 * distance + 2 + self.cycles_clifford_2q
+        return distance + self.cycles_clifford_2q
+
+    def t_cycles(self, distance: int) -> float:
+        """Latency of a logical T: magic-state interaction included."""
+        return self.two_qubit_cycles(distance) + self.cycles_t_overhead
+
+    def op_cycles(self, kind: GateKind, distance: int) -> float:
+        """Latency in cycles for a gate class at distance d."""
+        if kind is GateKind.CLIFFORD_1Q:
+            return self.cycles_clifford_1q
+        if kind is GateKind.CLIFFORD_2Q:
+            return self.two_qubit_cycles(distance)
+        if kind is GateKind.NON_CLIFFORD:
+            return self.t_cycles(distance)
+        if kind is GateKind.MEASUREMENT:
+            return self.cycles_measure
+        if kind is GateKind.PREPARATION:
+            return self.cycles_clifford_1q
+        raise ValueError(
+            f"composite gate kind {kind} must be decomposed before costing"
+        )
+
+
+PLANAR = SurfaceCode(
+    name="planar",
+    communication=CommunicationStyle.TELEPORTATION,
+    tile_area_factor=4.0,
+    cycles_clifford_1q=1.0,
+    cycles_clifford_2q=1.0,
+    cycles_measure=1.0,
+    cycles_t_overhead=2.0,
+)
+
+DOUBLE_DEFECT = SurfaceCode(
+    name="double-defect",
+    communication=CommunicationStyle.BRAIDING,
+    tile_area_factor=12.5,
+    cycles_clifford_1q=1.0,
+    cycles_clifford_2q=0.0,
+    cycles_measure=1.0,
+    cycles_t_overhead=2.0,
+)

@@ -1,0 +1,93 @@
+"""Code distance selection from error-rate requirements.
+
+Section 5.3: the frontend's size-of-computation estimate "in conjunction
+with the physical error rate (pP) ... helps determine the strength of
+surface code error correction that is needed (d)."
+
+We use the standard surface-code failure model the paper cites
+(Fowler et al. [27]): the per-logical-qubit, per-round logical error
+rate is approximately::
+
+    p_L(d) = A * (p_P / p_th) ** ((d + 1) / 2)
+
+with ``A ~ 0.03`` and threshold ``p_th ~ 1e-2``.  The minimal odd
+distance whose ``p_L`` meets the target is chosen.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..tech import Technology
+
+__all__ = [
+    "FOWLER_PREFACTOR",
+    "logical_error_rate",
+    "choose_distance",
+    "max_computation_size",
+]
+
+FOWLER_PREFACTOR = 0.03
+MAX_DISTANCE = 2001
+
+
+def logical_error_rate(
+    distance: int, tech: Technology, prefactor: float = FOWLER_PREFACTOR
+) -> float:
+    """Logical error probability per logical operation at distance d."""
+    if distance < 1:
+        raise ValueError(f"distance must be >= 1, got {distance}")
+    exponent = (distance + 1) / 2.0
+    return prefactor * tech.error_suppression_base**exponent
+
+
+def choose_distance(
+    target_pl: float,
+    tech: Technology,
+    prefactor: float = FOWLER_PREFACTOR,
+) -> int:
+    """Minimal odd code distance achieving ``p_L <= target_pl``.
+
+    Raises:
+        ValueError: If the target is unachievable below
+            :data:`MAX_DISTANCE` (physically: pP too close to threshold).
+    """
+    if not 0 < target_pl < 1:
+        raise ValueError(f"target_pl must be in (0, 1), got {target_pl}")
+    base = tech.error_suppression_base
+    # Closed form first: A * base^((d+1)/2) <= target.
+    ratio = target_pl / prefactor
+    if ratio >= 1.0:
+        return 3  # even the weakest practical code suffices; keep d >= 3
+    needed = 2 * math.log(ratio) / math.log(base) - 1
+    distance = max(3, math.ceil(needed))
+    if distance % 2 == 0:
+        distance += 1
+    # Guard against floating-point edge cases at the boundary.
+    while (
+        distance <= MAX_DISTANCE
+        and logical_error_rate(distance, tech, prefactor) > target_pl
+    ):
+        distance += 2
+    if distance > MAX_DISTANCE:
+        raise ValueError(
+            f"cannot reach p_L={target_pl:g} with p_P="
+            f"{tech.physical_error_rate:g} below distance {MAX_DISTANCE} "
+            "(physical error rate too close to threshold)"
+        )
+    return distance
+
+
+def max_computation_size(
+    distance: int,
+    tech: Technology,
+    prefactor: float = FOWLER_PREFACTOR,
+    success_target: float = 0.5,
+) -> float:
+    """Largest computation (logical op count) a distance supports.
+
+    Inverse of the budget rule ``p_L = (1 - success_target) / K``.
+    """
+    return (1.0 - success_target) / logical_error_rate(
+        distance, tech, prefactor
+    )

@@ -1,0 +1,97 @@
+"""Ancilla factory models (Section 4.3).
+
+"We use so-called 'ancilla factories' [39, 41, 74, 78] to dedicate
+specialized regions of the architecture to continuously prepare and
+supply ancillas. ... every magic state factory consumes 12 encoded
+qubits. ... In our empirical model, we have found that a good space-time
+balance is achieved with a 1:4 ancilla-to-data ratio."
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from .codes import SurfaceCode
+
+__all__ = [
+    "FactoryModel",
+    "MAGIC_STATE_FACTORY",
+    "EPR_FACTORY",
+    "factories_needed",
+    "ancilla_region_tiles",
+]
+
+DEFAULT_ANCILLA_TO_DATA_RATIO = 0.25
+"""The paper's empirical 1:4 ancilla-to-data balance."""
+
+
+@dataclasses.dataclass(frozen=True)
+class FactoryModel:
+    """A logical-ancilla factory.
+
+    Attributes:
+        name: Kind of ancilla produced.
+        tiles: Logical tiles the factory occupies (12 for magic states
+            per Jones et al. [41]).
+        cycles_per_output: Production latency per ancilla, in units of
+            code distance d (distillation rounds scale with d).
+    """
+
+    name: str
+    tiles: int
+    cycles_per_output: float
+
+    def qubits(self, code: SurfaceCode, distance: int) -> int:
+        """Physical qubit footprint at the given code/distance."""
+        return self.tiles * code.tile_qubits(distance)
+
+    def output_period_cycles(self, distance: int) -> float:
+        """Cycles between consecutive ancillas from one factory."""
+        return self.cycles_per_output * distance
+
+    def throughput(self, distance: int) -> float:
+        """Ancillas per cycle from one factory."""
+        return 1.0 / self.output_period_cycles(distance)
+
+
+MAGIC_STATE_FACTORY = FactoryModel(
+    name="magic-state",
+    tiles=12,
+    cycles_per_output=10.0,
+)
+
+EPR_FACTORY = FactoryModel(
+    name="epr",
+    tiles=4,
+    cycles_per_output=2.0,
+)
+
+
+def factories_needed(
+    demand_per_cycle: float, factory: FactoryModel, distance: int
+) -> int:
+    """Factories required to keep ancilla supply off the critical path.
+
+    Args:
+        demand_per_cycle: Mean ancilla consumption rate (e.g. T ops per
+            logical cycle for magic states).
+        factory: The factory model.
+        distance: Code distance (production latency scales with d).
+    """
+    if demand_per_cycle < 0:
+        raise ValueError(f"demand must be >= 0, got {demand_per_cycle}")
+    if demand_per_cycle == 0:
+        return 0
+    return max(1, math.ceil(demand_per_cycle / factory.throughput(distance)))
+
+
+def ancilla_region_tiles(
+    data_tiles: int, ratio: float = DEFAULT_ANCILLA_TO_DATA_RATIO
+) -> int:
+    """Tiles reserved for ancilla generation at the paper's 1:4 balance."""
+    if data_tiles < 0:
+        raise ValueError(f"data_tiles must be >= 0, got {data_tiles}")
+    if ratio <= 0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+    return math.ceil(data_tiles * ratio)

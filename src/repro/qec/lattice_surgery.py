@@ -1,0 +1,96 @@
+"""Lattice surgery cost model (paper Section 8.2, extension).
+
+The paper discusses lattice surgery [38] as a hybrid alternative:
+planar-sized patches communicating through merge/split operations on
+shared boundaries.  "Crucially ... the chain of merges and splits does
+not have the benefits of braids (fast movement) nor teleportation
+(prefetchability)", which is why the paper's evaluation focuses on the
+other two.  This module quantifies that argument: it models surgery
+communication cost so the Table 1 comparison can be extended with the
+third row, supporting the paper's dismissal quantitatively.
+
+Model: interacting two patches at Manhattan distance ``h`` tiles routes
+a merged region across ``h`` intermediate patches; each merge and each
+split costs ``d`` rounds of syndrome measurement (boundary stabilizers
+must be measured d times to be fault tolerant), and the chain advances
+one tile per merge+split pair.  The chain claims its intermediate tiles
+exclusively while active (like braids, it blocks crossing traffic) and
+cannot be separated into a prefetchable half (unlike teleportation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .codes import CommunicationStyle, SurfaceCode
+
+__all__ = ["LatticeSurgeryModel", "DEFAULT_LATTICE_SURGERY"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LatticeSurgeryModel:
+    """Merge/split communication cost model.
+
+    Attributes:
+        rounds_per_merge: Syndrome rounds per merge (units of d).
+        rounds_per_split: Syndrome rounds per split (units of d).
+    """
+
+    rounds_per_merge: float = 1.0
+    rounds_per_split: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rounds_per_merge <= 0 or self.rounds_per_split <= 0:
+            raise ValueError("surgery round counts must be positive")
+
+    def communication_cycles(self, hops: int, distance: int) -> float:
+        """Latency of interacting patches ``hops`` tiles apart.
+
+        Each hop extends the merged region one patch (a merge) and
+        retracts it (a split), each stabilized for d cycles.  Distance-
+        *dependent*, unlike braiding; unprefetchable, unlike
+        teleportation.
+        """
+        if hops < 0:
+            raise ValueError(f"hops must be >= 0, got {hops}")
+        if distance < 1:
+            raise ValueError(f"distance must be >= 1, got {distance}")
+        per_hop = (self.rounds_per_merge + self.rounds_per_split) * distance
+        # Even adjacent patches need one merge + split.
+        return max(1, hops) * per_hop
+
+    def channel_tiles(self, hops: int) -> int:
+        """Intermediate patches claimed while the chain is active."""
+        if hops < 0:
+            raise ValueError(f"hops must be >= 0, got {hops}")
+        return max(0, hops - 1)
+
+    def is_prefetchable(self) -> bool:
+        """Merges act directly on data patches: nothing to prefetch."""
+        return False
+
+    def compare_against(
+        self,
+        planar: SurfaceCode,
+        double_defect: SurfaceCode,
+        hops: int,
+        distance: int,
+    ) -> dict[str, float]:
+        """Latency comparison for one communication at (hops, distance).
+
+        Returns a mapping of method name to cycles, quantifying the
+        Section 8.2 argument: surgery is distance-dependent like
+        neither alternative's strength.
+        """
+        if double_defect.communication is not CommunicationStyle.BRAIDING:
+            raise ValueError("double_defect must be a braiding code")
+        braid_cycles = 2.0  # open + close, any length
+        teleport_cycles = 2.0  # constant, EPR prefetched
+        return {
+            "braiding": braid_cycles,
+            "teleportation(prefetched)": teleport_cycles,
+            "lattice-surgery": self.communication_cycles(hops, distance),
+        }
+
+
+DEFAULT_LATTICE_SURGERY = LatticeSurgeryModel()

@@ -1,0 +1,5 @@
+"""Simulation oracles used by the test suite and workload validation."""
+
+from .classical import ClassicalState, register_value, simulate_classical
+
+__all__ = ["ClassicalState", "simulate_classical", "register_value"]

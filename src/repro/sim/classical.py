@@ -1,0 +1,111 @@
+"""Classical reversible-circuit simulator.
+
+The arithmetic substrate used by the SQ and SHA-1 workloads consists of
+X / CNOT / Toffoli / SWAP / Fredkin networks, which permute computational
+basis states.  This simulator executes such circuits exactly on basis
+states, letting the test suite verify adders and comparators against
+plain integer arithmetic.  It deliberately rejects superposition-creating
+gates: this is a correctness oracle for reversible logic, not a quantum
+simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..qasm.circuit import Circuit
+
+__all__ = ["ClassicalState", "simulate_classical", "register_value"]
+
+_SUPPORTED = {"X", "CNOT", "TOFFOLI", "SWAP", "FREDKIN", "PREPZ", "MEASZ"}
+
+
+class ClassicalState:
+    """Mutable assignment of classical bits to qubit names."""
+
+    def __init__(self, bits: Mapping[str, int] | None = None) -> None:
+        self._bits: dict[str, int] = {}
+        for name, value in (bits or {}).items():
+            self[name] = value
+
+    def __getitem__(self, name: str) -> int:
+        return self._bits.get(name, 0)
+
+    def __setitem__(self, name: str, value: int) -> None:
+        if value not in (0, 1):
+            raise ValueError(f"bit value must be 0 or 1, got {value!r}")
+        self._bits[name] = value
+
+    def load_register(self, register: Sequence[str], value: int) -> None:
+        """Load a little-endian integer into a register."""
+        if value < 0 or value >= 1 << len(register):
+            raise ValueError(
+                f"value {value} does not fit in {len(register)} bits"
+            )
+        for i, name in enumerate(register):
+            self[name] = (value >> i) & 1
+
+    def register_value(self, register: Sequence[str]) -> int:
+        """Read a little-endian register as an integer."""
+        return sum(self[name] << i for i, name in enumerate(register))
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._bits)
+
+
+def simulate_classical(
+    circuit: Circuit | Iterable,
+    initial: Mapping[str, int] | ClassicalState | None = None,
+) -> ClassicalState:
+    """Run a reversible circuit on a basis state.
+
+    Args:
+        circuit: A circuit (or iterable of operations) containing only
+            classical-reversible gates.
+        initial: Starting bit assignment; unspecified qubits are 0.
+
+    Returns:
+        The final :class:`ClassicalState`.
+
+    Raises:
+        ValueError: If the circuit contains a non-classical gate.
+    """
+    if isinstance(initial, ClassicalState):
+        state = ClassicalState(initial.as_dict())
+    else:
+        state = ClassicalState(initial)
+    for op in circuit:
+        gate = op.gate
+        if gate not in _SUPPORTED:
+            raise ValueError(
+                f"gate {gate} is not classical-reversible; the classical "
+                "simulator only handles X/CNOT/Toffoli/SWAP/Fredkin"
+            )
+        qs = op.qubits
+        if gate == "X":
+            state[qs[0]] ^= 1
+        elif gate == "CNOT":
+            if state[qs[0]]:
+                state[qs[1]] ^= 1
+        elif gate == "TOFFOLI":
+            if state[qs[0]] and state[qs[1]]:
+                state[qs[2]] ^= 1
+        elif gate == "SWAP":
+            state[qs[0]], state[qs[1]] = state[qs[1]], state[qs[0]]
+        elif gate == "FREDKIN":
+            if state[qs[0]]:
+                state[qs[1]], state[qs[2]] = state[qs[2]], state[qs[1]]
+        elif gate == "PREPZ":
+            state[qs[0]] = 0
+        elif gate == "MEASZ":
+            pass  # measurement of a basis state is the identity
+    return state
+
+
+def register_value(
+    circuit: Circuit,
+    register: Sequence[str],
+    initial: Mapping[str, int] | None = None,
+) -> int:
+    """Convenience: simulate and read one register."""
+    return simulate_classical(circuit, initial).register_value(register)

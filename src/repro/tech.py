@@ -1,0 +1,121 @@
+"""Technology models for superconducting quantum hardware.
+
+The paper's evaluation is parameterized by a small set of physical
+technology characteristics (Section 5.1, Figure 4 "Technology
+Characteristics" input): physical gate latencies, the physical error rate
+``p_P``, and the surface-code threshold.  This module captures those
+parameters in one immutable object so every downstream model (code
+distance selection, braid timing, teleportation latency) draws from a
+single source of truth.
+
+Two presets bracket the paper's sweep in Figure 9:
+
+* :data:`CURRENT` -- ``p_P = 1e-3``, today's superconducting devices
+  (paper Section 2.2: reliabilities of 99.9--99.99%).
+* :data:`OPTIMISTIC` -- ``p_P = 1e-8``, the "future optimistic" end used
+  for Figures 7 and 8.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = [
+    "Technology",
+    "CURRENT",
+    "INTERMEDIATE",
+    "OPTIMISTIC",
+    "technology_for_error_rate",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Technology:
+    """Immutable description of a physical qubit technology.
+
+    Attributes:
+        name: Human-readable identifier for reports.
+        physical_error_rate: Per-physical-operation error probability
+            ``p_P``.  The paper sweeps this from ``1e-8`` to ``1e-3``.
+        threshold_error_rate: Surface-code threshold ``p_th``; error
+            suppression scales as ``(p_P / p_th) ** ((d + 1) / 2)``.
+            The paper's cited value (Fowler et al.) is about 1e-2.
+        cycle_time_ns: Duration of one surface-code error-correction
+            cycle in nanoseconds.  One cycle comprises the syndrome
+            measurement round (a few 2-qubit gate times plus measurement).
+        gate_time_1q_ns: Latency of a physical single-qubit gate.
+        gate_time_2q_ns: Latency of a physical two-qubit gate.  Figure 7's
+            caption assumes single-qubit operations are 10x faster than
+            two-qubit operations, which these defaults preserve.
+        measure_time_ns: Latency of a physical measurement.
+    """
+
+    name: str = "superconducting"
+    physical_error_rate: float = 1e-5
+    threshold_error_rate: float = 1e-2
+    cycle_time_ns: float = 400.0
+    gate_time_1q_ns: float = 5.0
+    gate_time_2q_ns: float = 50.0
+    measure_time_ns: float = 140.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.physical_error_rate < 1.0:
+            raise ValueError(
+                f"physical_error_rate must be in (0, 1), got "
+                f"{self.physical_error_rate!r}"
+            )
+        if not 0.0 < self.threshold_error_rate < 1.0:
+            raise ValueError(
+                f"threshold_error_rate must be in (0, 1), got "
+                f"{self.threshold_error_rate!r}"
+            )
+        if self.physical_error_rate >= self.threshold_error_rate:
+            raise ValueError(
+                "physical error rate must be below threshold for the "
+                f"surface code to help: p_P={self.physical_error_rate} "
+                f">= p_th={self.threshold_error_rate}"
+            )
+        for field in (
+            "cycle_time_ns",
+            "gate_time_1q_ns",
+            "gate_time_2q_ns",
+            "measure_time_ns",
+        ):
+            if getattr(self, field) <= 0:
+                raise ValueError(f"{field} must be positive")
+
+    @property
+    def error_suppression_base(self) -> float:
+        """Ratio ``p_P / p_th`` governing per-distance error suppression."""
+        return self.physical_error_rate / self.threshold_error_rate
+
+    def with_error_rate(self, physical_error_rate: float) -> "Technology":
+        """Return a copy of this technology at a different ``p_P``."""
+        return dataclasses.replace(
+            self,
+            name=f"{self.name}(pP={physical_error_rate:g})",
+            physical_error_rate=physical_error_rate,
+        )
+
+    def seconds(self, cycles: float) -> float:
+        """Convert a count of surface-code cycles to wall-clock seconds."""
+        if cycles < 0:
+            raise ValueError(f"cycles must be non-negative, got {cycles}")
+        return cycles * self.cycle_time_ns * 1e-9
+
+
+CURRENT = Technology(name="superconducting-2017", physical_error_rate=1e-3)
+INTERMEDIATE = Technology(name="superconducting-mid", physical_error_rate=1e-5)
+OPTIMISTIC = Technology(name="superconducting-future", physical_error_rate=1e-8)
+
+
+def technology_for_error_rate(physical_error_rate: float) -> Technology:
+    """Build a default technology preset at the given ``p_P``.
+
+    Used by the Figure 9 sensitivity sweep, which varies only the error
+    rate while holding gate latencies fixed.
+    """
+    return Technology(
+        name=f"superconducting(pP={physical_error_rate:g})",
+        physical_error_rate=physical_error_rate,
+    )

@@ -1,0 +1,165 @@
+"""Correctness tests for reversible arithmetic against integer oracles."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.arith import (
+    add_constant,
+    compare_equal_constant,
+    multi_controlled_x,
+    ripple_add,
+    ripple_add_controlled,
+    rotate_names,
+    xor_register,
+)
+from repro.qasm import Circuit
+from repro.sim import simulate_classical
+
+
+def _load(init, register, value):
+    for i, name in enumerate(register):
+        init[name] = (value >> i) & 1
+
+
+def _regs(n):
+    return (
+        [f"a{i}" for i in range(n)],
+        [f"b{i}" for i in range(n)],
+    )
+
+
+class TestRippleAdd:
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.data(),
+    )
+    @settings(max_examples=60)
+    def test_add_matches_integers(self, n, data):
+        av = data.draw(st.integers(0, (1 << n) - 1))
+        bv = data.draw(st.integers(0, (1 << n) - 1))
+        a, b = _regs(n)
+        circuit = Circuit()
+        ripple_add(circuit, a, b, "carry", carry_out="cout")
+        init = {}
+        _load(init, a, av)
+        _load(init, b, bv)
+        state = simulate_classical(circuit, init)
+        total = av + bv
+        assert state.register_value(b) == total % (1 << n)
+        assert state["cout"] == total >> n
+        assert state.register_value(a) == av  # addend preserved
+        assert state["carry"] == 0  # ancilla restored
+
+    def test_rejects_mismatched_widths(self):
+        with pytest.raises(ValueError):
+            ripple_add(Circuit(), ["a0"], ["b0", "b1"], "c")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ripple_add(Circuit(), [], [], "c")
+
+
+class TestControlledAdd:
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.booleans(),
+        st.data(),
+    )
+    @settings(max_examples=60)
+    def test_control_gates_the_add(self, n, control_on, data):
+        av = data.draw(st.integers(0, (1 << n) - 1))
+        bv = data.draw(st.integers(0, (1 << n) - 1))
+        a, b = _regs(n)
+        scratch = [f"s{i}" for i in range(n)]
+        circuit = Circuit()
+        ripple_add_controlled(circuit, "ctl", a, b, "carry", scratch)
+        init = {"ctl": int(control_on)}
+        _load(init, a, av)
+        _load(init, b, bv)
+        state = simulate_classical(circuit, init)
+        expected = (av + bv) % (1 << n) if control_on else bv
+        assert state.register_value(b) == expected
+        assert all(state[q] == 0 for q in scratch)
+
+
+class TestAddConstant:
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.data(),
+    )
+    @settings(max_examples=60)
+    def test_matches_integers(self, n, data):
+        constant = data.draw(st.integers(0, (1 << n) - 1))
+        bv = data.draw(st.integers(0, (1 << n) - 1))
+        target = [f"t{i}" for i in range(n)]
+        scratch = [f"s{i}" for i in range(n)]
+        circuit = Circuit()
+        add_constant(circuit, constant, target, scratch, "carry")
+        init = {}
+        _load(init, target, bv)
+        state = simulate_classical(circuit, init)
+        assert state.register_value(target) == (bv + constant) % (1 << n)
+        assert all(state[q] == 0 for q in scratch)
+
+
+class TestMultiControlledX:
+    @given(st.integers(min_value=0, max_value=5), st.data())
+    @settings(max_examples=60)
+    def test_fires_only_on_all_ones(self, k, data):
+        controls = [f"c{i}" for i in range(k)]
+        ancillas = [f"anc{i}" for i in range(max(0, k - 2))]
+        pattern = data.draw(st.integers(0, max(0, (1 << k) - 1)))
+        circuit = Circuit()
+        multi_controlled_x(circuit, controls, "target", ancillas)
+        init = {}
+        _load(init, controls, pattern)
+        state = simulate_classical(circuit, init)
+        expected = 1 if pattern == (1 << k) - 1 else 0
+        assert state["target"] == expected
+        assert all(state[q] == 0 for q in ancillas)
+
+    def test_insufficient_ancillas(self):
+        with pytest.raises(ValueError, match="ancillas"):
+            multi_controlled_x(Circuit(), ["a", "b", "c", "d"], "t", [])
+
+
+class TestCompareEqualConstant:
+    @given(st.integers(min_value=1, max_value=5), st.data())
+    @settings(max_examples=60)
+    def test_equality_flag(self, n, data):
+        constant = data.draw(st.integers(0, (1 << n) - 1))
+        value = data.draw(st.integers(0, (1 << n) - 1))
+        register = [f"r{i}" for i in range(n)]
+        ancillas = [f"anc{i}" for i in range(max(1, n - 2))]
+        circuit = Circuit()
+        compare_equal_constant(circuit, register, constant, "flag", ancillas)
+        init = {}
+        _load(init, register, value)
+        state = simulate_classical(circuit, init)
+        assert state["flag"] == int(value == constant)
+        assert state.register_value(register) == value  # restored
+
+
+class TestHelpers:
+    def test_xor_register(self):
+        circuit = Circuit()
+        xor_register(circuit, ["a0", "a1"], ["b0", "b1"])
+        state = simulate_classical(circuit, {"a0": 1, "b1": 1})
+        assert state["b0"] == 1
+        assert state["b1"] == 1
+
+    def test_xor_register_width_mismatch(self):
+        with pytest.raises(ValueError):
+            xor_register(Circuit(), ["a0"], ["b0", "b1"])
+
+    @pytest.mark.parametrize(
+        "amount,expected",
+        [(0, ["q0", "q1", "q2"]), (1, ["q1", "q2", "q0"]), (3, ["q0", "q1", "q2"]),
+         (5, ["q2", "q0", "q1"])],
+    )
+    def test_rotate_names(self, amount, expected):
+        assert rotate_names(["q0", "q1", "q2"], amount) == expected
+
+    def test_rotate_empty(self):
+        assert rotate_names([], 3) == []

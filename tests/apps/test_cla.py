@@ -1,0 +1,123 @@
+"""Correctness tests for the carry-lookahead adder."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.cla import cla_add_inplace, cla_ancilla_count, cla_xor_sum
+from repro.qasm import Circuit, CircuitDag
+from repro.sim import simulate_classical
+
+
+def _load(init, register, value):
+    for i, name in enumerate(register):
+        init[name] = (value >> i) & 1
+
+
+def _setup(n):
+    a = [f"a{i}" for i in range(n)]
+    b = [f"b{i}" for i in range(n)]
+    t = [f"t{i}" for i in range(n)]
+    anc = [f"anc{i}" for i in range(cla_ancilla_count(n))]
+    return a, b, t, anc
+
+
+class TestClaXorSum:
+    @given(st.integers(min_value=1, max_value=9), st.data())
+    @settings(max_examples=80)
+    def test_add_matches_integers(self, n, data):
+        av = data.draw(st.integers(0, (1 << n) - 1))
+        bv = data.draw(st.integers(0, (1 << n) - 1))
+        tv = data.draw(st.integers(0, (1 << n) - 1))
+        a, b, t, anc = _setup(n)
+        circuit = Circuit()
+        cla_xor_sum(circuit, a, b, t, anc)
+        init = {}
+        _load(init, a, av)
+        _load(init, b, bv)
+        _load(init, t, tv)
+        state = simulate_classical(circuit, init)
+        assert state.register_value(t) == tv ^ ((av + bv) % (1 << n))
+        assert state.register_value(a) == av
+        assert state.register_value(b) == bv
+        assert all(state[q] == 0 for q in anc), "ancillas must be restored"
+
+    @given(st.integers(min_value=1, max_value=9), st.data())
+    @settings(max_examples=80)
+    def test_subtract_matches_integers(self, n, data):
+        av = data.draw(st.integers(0, (1 << n) - 1))
+        bv = data.draw(st.integers(0, (1 << n) - 1))
+        a, b, t, anc = _setup(n)
+        circuit = Circuit()
+        cla_xor_sum(circuit, a, b, t, anc, subtract=True)
+        init = {}
+        _load(init, a, av)
+        _load(init, b, bv)
+        state = simulate_classical(circuit, init)
+        assert state.register_value(t) == (av - bv) % (1 << n)
+        assert all(state[q] == 0 for q in anc)
+
+    def test_validates_widths(self):
+        with pytest.raises(ValueError, match="widths"):
+            cla_xor_sum(Circuit(), ["a0"], ["b0", "b1"], ["t0"], ["x"] * 10)
+
+    def test_validates_ancilla_count(self):
+        a, b, t, anc = _setup(4)
+        with pytest.raises(ValueError, match="ancillas"):
+            cla_xor_sum(Circuit(), a, b, t, anc[:3])
+
+    def test_ancilla_count_validates(self):
+        with pytest.raises(ValueError):
+            cla_ancilla_count(0)
+
+
+class TestClaInPlace:
+    @given(st.integers(min_value=1, max_value=9), st.data())
+    @settings(max_examples=80)
+    def test_accumulate_and_zero_spare(self, n, data):
+        xv = data.draw(st.integers(0, (1 << n) - 1))
+        accv = data.draw(st.integers(0, (1 << n) - 1))
+        x = [f"x{i}" for i in range(n)]
+        acc = [f"c{i}" for i in range(n)]
+        spare = [f"s{i}" for i in range(n)]
+        anc = [f"anc{i}" for i in range(cla_ancilla_count(n))]
+        circuit = Circuit()
+        new_acc, new_spare = cla_add_inplace(circuit, x, acc, spare, anc)
+        init = {}
+        _load(init, x, xv)
+        _load(init, acc, accv)
+        state = simulate_classical(circuit, init)
+        assert state.register_value(new_acc) == (xv + accv) % (1 << n)
+        assert state.register_value(new_spare) == 0
+        assert state.register_value(x) == xv
+        assert all(state[q] == 0 for q in anc)
+
+    def test_names_swap(self):
+        x = ["x0"]
+        acc = ["c0"]
+        spare = ["s0"]
+        anc = [f"anc{i}" for i in range(cla_ancilla_count(1))]
+        new_acc, new_spare = cla_add_inplace(Circuit(), x, acc, spare, anc)
+        assert new_acc == spare
+        assert new_spare == acc
+
+
+class TestClaDepth:
+    def test_logarithmic_depth_scaling(self):
+        """CLA depth grows ~log(width); ripple would grow linearly."""
+        depths = {}
+        for n in (4, 8, 16, 32):
+            a, b, t, anc = _setup(n)
+            circuit = Circuit()
+            cla_xor_sum(circuit, a, b, t, anc)
+            depths[n] = CircuitDag(circuit).critical_path_length
+        # Doubling the width must not double the depth.
+        assert depths[32] < 2 * depths[8]
+        assert depths[8] <= depths[16] <= depths[32]
+
+    def test_wide_adder_is_parallel(self):
+        a, b, t, anc = _setup(32)
+        circuit = Circuit()
+        cla_xor_sum(circuit, a, b, t, anc)
+        dag = CircuitDag(circuit)
+        assert dag.parallelism_factor > 4.0

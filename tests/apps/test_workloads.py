@@ -1,0 +1,214 @@
+"""Tests for the four paper workload generators (Table 2)."""
+
+import pytest
+
+from repro.apps import (
+    APPLICATIONS,
+    GseParams,
+    IsingParams,
+    Sha1Params,
+    SqParams,
+    build_circuit,
+    build_gse,
+    build_ising,
+    build_sha1,
+    build_sq,
+    get_app,
+    grover_iteration_count,
+)
+from repro.frontend import decompose_circuit, estimate_circuit, flatten
+from repro.qasm import CircuitDag
+
+
+class TestGse:
+    def test_builds_and_validates(self):
+        program = build_gse(GseParams(num_orbitals=3, precision_bits=2))
+        program.validate()
+
+    def test_qubit_count(self):
+        circuit = flatten(build_gse(GseParams(num_orbitals=4, precision_bits=3)))
+        assert circuit.num_qubits == 7  # 4 system + 3 phase
+
+    def test_is_serial(self):
+        circuit = build_circuit("gse", 4)
+        lowered = decompose_circuit(circuit)
+        estimate = estimate_circuit(lowered)
+        assert estimate.parallelism_factor < 3.0
+
+    def test_size_scales_operations(self):
+        small = len(flatten(build_gse(GseParams(num_orbitals=3))))
+        large = len(flatten(build_gse(GseParams(num_orbitals=6))))
+        assert large > small
+
+    def test_has_measurements(self):
+        circuit = flatten(build_gse(GseParams(num_orbitals=3)))
+        assert circuit.gate_counts()["MEASZ"] == 3  # one per phase bit
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            GseParams(num_orbitals=1)
+        with pytest.raises(ValueError):
+            GseParams(precision_bits=0)
+
+
+class TestSq:
+    def test_builds_and_validates(self):
+        build_sq(SqParams(num_bits=2)).validate()
+
+    def test_resolved_defaults(self):
+        params = SqParams(num_bits=3)
+        assert params.resolved_target == 49  # (2^3 - 1)^2
+        assert 1 <= params.resolved_iterations <= params.max_iterations
+
+    def test_iteration_count_formula(self):
+        assert grover_iteration_count(4) == 3  # floor(pi/4 * 4)
+
+    def test_is_mostly_serial(self):
+        estimate = estimate_circuit(
+            decompose_circuit(build_circuit("sq", 3))
+        )
+        assert estimate.parallelism_factor < 4.0
+
+    def test_search_register_measured(self):
+        circuit = flatten(build_sq(SqParams(num_bits=3, iterations=1)))
+        assert circuit.gate_counts()["MEASZ"] == 3
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            SqParams(num_bits=1)
+        with pytest.raises(ValueError):
+            SqParams(num_bits=3, target=1 << 10)
+        with pytest.raises(ValueError):
+            SqParams(num_bits=3, iterations=0)
+
+    def test_square_uncomputed(self):
+        """The oracle must restore acc ancillas: total ops of oracle
+        remain balanced (square and unsquare have equal lengths)."""
+        program = build_sq(SqParams(num_bits=2, iterations=1))
+        square = program.modules["square"]
+        unsquare = program.modules["unsquare"]
+        assert len(square.body) == len(unsquare.body)
+
+
+class TestSha1:
+    def test_builds_and_validates(self):
+        build_sha1(Sha1Params(word_bits=4, rounds=4)).validate()
+
+    def test_schedule_expansion_present(self):
+        program = build_sha1(Sha1Params(word_bits=4, rounds=20))
+        program.validate()
+        calls = [
+            s
+            for s in program.modules["main"].body
+            if hasattr(s, "callee") and s.callee == "schedule_word"
+        ]
+        assert len(calls) == 4  # rounds 16..19
+
+    def test_round_count(self):
+        program = build_sha1(Sha1Params(word_bits=4, rounds=6))
+        round_calls = [
+            s
+            for s in program.modules["main"].body
+            if hasattr(s, "callee") and s.callee.startswith("round_")
+        ]
+        assert len(round_calls) == 6
+
+    def test_is_parallel_class(self):
+        estimate = estimate_circuit(
+            decompose_circuit(build_circuit("sha1", 6))
+        )
+        # Clearly separated from the serial apps (GSE ~1.2, SQ ~1.9).
+        assert estimate.parallelism_factor > 3.0
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            Sha1Params(word_bits=2)
+        with pytest.raises(ValueError):
+            Sha1Params(rounds=0)
+        with pytest.raises(ValueError):
+            Sha1Params(message_words=8)
+
+
+class TestIsing:
+    def test_builds_and_validates(self):
+        build_ising(IsingParams(num_spins=4)).validate()
+
+    def test_qubit_count(self):
+        circuit = flatten(build_ising(IsingParams(num_spins=5)))
+        assert circuit.num_qubits == 5
+
+    def test_is_highly_parallel(self):
+        estimate = estimate_circuit(
+            decompose_circuit(build_circuit("im", 32))
+        )
+        assert estimate.parallelism_factor > 15.0
+
+    def test_parallelism_scales_with_spins(self):
+        small = estimate_circuit(
+            decompose_circuit(build_circuit("im", 8))
+        ).parallelism_factor
+        large = estimate_circuit(
+            decompose_circuit(build_circuit("im", 32))
+        ).parallelism_factor
+        assert large > 2 * small
+
+    def test_periodic_adds_bond(self):
+        open_chain = flatten(build_ising(IsingParams(num_spins=4)))
+        ring = flatten(build_ising(IsingParams(num_spins=4, periodic=True)))
+        assert len(ring) > len(open_chain)
+
+    def test_inline_variants_differ(self):
+        """Semi-inlined IM (opaque steps) has lower parallelism."""
+        program = build_ising(IsingParams(num_spins=8, trotter_steps=3))
+        semi = CircuitDag(flatten(program, inline_depth=0))
+        full = CircuitDag(flatten(program))
+        assert semi.parallelism_factor <= full.parallelism_factor
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            IsingParams(num_spins=1)
+        with pytest.raises(ValueError):
+            IsingParams(trotter_steps=0)
+
+
+class TestRegistry:
+    def test_all_four_registered(self):
+        assert set(APPLICATIONS) == {"gse", "sq", "sha1", "im"}
+
+    @pytest.mark.parametrize("name", ["gse", "sq", "sha1", "im"])
+    def test_specs_complete(self, name):
+        spec = APPLICATIONS[name]
+        assert spec.paper_parallelism > 0
+        assert spec.purpose
+        assert spec.default_size > 0
+
+    def test_serial_classification(self):
+        assert APPLICATIONS["gse"].serial
+        assert APPLICATIONS["sq"].serial
+        assert not APPLICATIONS["sha1"].serial
+        assert not APPLICATIONS["im"].serial
+
+    @pytest.mark.parametrize(
+        "alias,expected", [("IM", "im"), ("ising", "im"), ("SHA-1", "sha1"), ("sha", "sha1")]
+    )
+    def test_aliases(self, alias, expected):
+        assert get_app(alias).name == expected
+
+    def test_unknown_app(self):
+        with pytest.raises(KeyError, match="unknown application"):
+            get_app("quux")
+
+    def test_circuit_names_encode_size(self):
+        assert build_circuit("im", 8).name == "im[8]"
+        assert (
+            get_app("im").circuit(8, inline_depth=0).name == "im[8,inline=0]"
+        )
+
+    def test_parallelism_ordering_matches_table2(self):
+        """The relative ordering GSE < SQ < SHA-1 < IM must hold."""
+        factors = {}
+        sizes = {"gse": 4, "sq": 3, "sha1": 6, "im": 32}
+        for name, size in sizes.items():
+            lowered = decompose_circuit(build_circuit(name, size))
+            factors[name] = estimate_circuit(lowered).parallelism_factor
+        assert factors["gse"] < factors["sq"] < factors["sha1"] < factors["im"]

@@ -1,0 +1,131 @@
+"""Tests for the tiled and Multi-SIMD machine builders."""
+
+import pytest
+
+from repro.apps import build_circuit
+from repro.arch import (
+    build_multisimd_machine,
+    build_tiled_machine,
+    simd_schedule,
+)
+from repro.frontend import decompose_circuit
+from repro.qasm import Circuit
+
+
+@pytest.fixture(scope="module")
+def im_circuit():
+    return decompose_circuit(build_circuit("im", 8))
+
+
+class TestTiledMachine:
+    def test_grid_surrounds_data(self, im_circuit):
+        machine = build_tiled_machine(im_circuit)
+        assert machine.grid.capacity > im_circuit.num_qubits
+        # All data tiles are interior (factories live on the ring).
+        for r, c in machine.placement.positions.values():
+            assert 0 < r < machine.grid.rows - 1
+            assert 0 < c < machine.grid.cols - 1
+
+    def test_factories_present_and_on_ring(self, im_circuit):
+        machine = build_tiled_machine(im_circuit)
+        assert len(machine.factory_routers) >= 2
+
+    def test_factory_count_override(self, im_circuit):
+        machine = build_tiled_machine(im_circuit, factories=5)
+        assert 1 <= len(machine.factory_routers) <= 5
+
+    def test_physical_qubits_scale_with_distance(self, im_circuit):
+        machine = build_tiled_machine(im_circuit)
+        assert machine.physical_qubits(9) > machine.physical_qubits(5)
+
+    def test_simulate_runs(self, im_circuit):
+        machine = build_tiled_machine(im_circuit)
+        result = machine.simulate(6, distance=3)
+        assert result.operations == len(im_circuit)
+        assert result.schedule_length >= result.critical_path
+
+    def test_naive_vs_optimized_layout_differ(self, im_circuit):
+        naive = build_tiled_machine(im_circuit, optimize_layout=False)
+        optimized = build_tiled_machine(im_circuit, optimize_layout=True)
+        assert naive.grid.capacity == optimized.grid.capacity
+
+    def test_single_qubit_circuit(self):
+        c = Circuit(qubits=["a"])
+        c.apply("H", "a")
+        machine = build_tiled_machine(c)
+        result = machine.simulate(1, distance=3)
+        assert result.operations == 1
+
+
+class TestSimdSchedule:
+    def test_groups_same_gate_type(self):
+        c = Circuit()
+        for i in range(6):
+            c.apply("H", f"q{i}")
+        for i in range(6):
+            c.apply("X", f"r{i}")
+        schedule = simd_schedule(c, regions=2)
+        # All 12 ops are independent and form 2 type groups: 1 cycle.
+        assert schedule.length == 1
+
+    def test_region_limit_binds(self):
+        c = Circuit()
+        # Three distinct gate types, all independent.
+        c.apply("H", "a")
+        c.apply("X", "b")
+        c.apply("Z", "c")
+        assert simd_schedule(c, regions=1).length == 3
+        assert simd_schedule(c, regions=3).length == 1
+
+    def test_respects_dependences(self):
+        c = Circuit()
+        c.apply("H", "a")
+        c.apply("X", "a")
+        schedule = simd_schedule(c, regions=4)
+        assert schedule.length == 2
+        schedule.validate()
+
+    def test_validates_against_dag(self, im_circuit):
+        schedule = simd_schedule(im_circuit, regions=4)
+        schedule.validate()
+
+    def test_rejects_bad_region_count(self):
+        with pytest.raises(ValueError):
+            simd_schedule(Circuit(), regions=0)
+
+    def test_more_regions_never_longer(self, im_circuit):
+        narrow = simd_schedule(im_circuit, regions=2)
+        wide = simd_schedule(im_circuit, regions=8)
+        assert wide.length <= narrow.length
+
+
+class TestMultiSimdMachine:
+    def test_build(self, im_circuit):
+        machine = build_multisimd_machine(im_circuit, regions=4)
+        assert machine.regions == 4
+        assert len(machine.placement.positions) == im_circuit.num_qubits
+
+    def test_rejects_bad_regions(self, im_circuit):
+        with pytest.raises(ValueError):
+            build_multisimd_machine(im_circuit, regions=0)
+
+    def test_physical_qubits_include_epr(self, im_circuit):
+        machine = build_multisimd_machine(im_circuit)
+        base = machine.physical_qubits(5, peak_epr_pairs=0)
+        with_epr = machine.physical_qubits(5, peak_epr_pairs=10)
+        assert with_epr > base
+
+    def test_epr_pipeline_end_to_end(self, im_circuit):
+        machine = build_multisimd_machine(im_circuit, regions=4)
+        schedule = machine.schedule()
+        result = machine.epr_pipeline(schedule, distance=3, window=32)
+        assert result.total_pairs > 0
+        assert result.schedule_length >= result.ideal_length
+
+    def test_window_tradeoff_on_real_app(self, im_circuit):
+        machine = build_multisimd_machine(im_circuit, regions=4)
+        schedule = machine.schedule()
+        tight = machine.epr_pipeline(schedule, distance=3, window=1)
+        loose = machine.epr_pipeline(schedule, distance=3, window=512)
+        assert tight.stall_cycles >= loose.stall_cycles
+        assert tight.peak_epr_pairs <= loose.peak_epr_pairs

@@ -1,0 +1,120 @@
+"""Tests for crossover analysis and error-rate sensitivity."""
+
+import pytest
+
+from repro.apps.scaling import AppScalingModel, PowerLaw
+from repro.core import (
+    analyze_crossover,
+    boundary_for_app,
+    sweep_error_rates,
+    sweep_sizes,
+)
+from repro.core.calibration import AppCalibration
+from repro.tech import OPTIMISTIC
+
+
+@pytest.fixture
+def synthetic_calibration() -> AppCalibration:
+    return AppCalibration(
+        scaling=AppScalingModel(
+            app_name="synthetic",
+            qubits_vs_ops=PowerLaw(coefficient=0.5, exponent=0.5),
+            depth_vs_ops=PowerLaw(coefficient=0.7, exponent=1.0),
+            parallelism_factor=2.0,
+            t_fraction=0.4,
+            two_qubit_fraction=0.3,
+            calibration_ops=(1000, 10000),
+        ),
+        braid_congestion=1.1,
+        epr_overhead=0.02,
+    )
+
+
+class TestSweepHelpers:
+    def test_sweep_sizes_log_spaced(self):
+        sizes = sweep_sizes(0.0, 4.0, per_decade=1)
+        assert sizes[0] == pytest.approx(1.0)
+        assert sizes[-1] == pytest.approx(1e4)
+        assert len(sizes) == 5
+
+    def test_sweep_sizes_validation(self):
+        with pytest.raises(ValueError):
+            sweep_sizes(5.0, 1.0)
+
+    def test_sweep_error_rates_span(self):
+        rates = sweep_error_rates()
+        assert rates[0] == pytest.approx(1e-8)
+        assert rates[-1] == pytest.approx(1e-3)
+
+
+class TestAnalyzeCrossover:
+    def test_planar_wins_small_dd_wins_large(self, synthetic_calibration):
+        analysis = analyze_crossover(
+            "synthetic", OPTIMISTIC, calibration=synthetic_calibration
+        )
+        assert analysis.points[0].planar_favored
+        assert not analysis.points[-1].planar_favored
+        assert analysis.crossover_size is not None
+
+    def test_crossover_is_a_boundary(self, synthetic_calibration):
+        from repro.core.crossover import _ratio_point
+        from repro.core.resources import DEFAULT_CONSTANTS
+
+        analysis = analyze_crossover(
+            "synthetic", OPTIMISTIC, calibration=synthetic_calibration
+        )
+        x = analysis.crossover_size
+        below = _ratio_point(
+            synthetic_calibration, x / 3, OPTIMISTIC, DEFAULT_CONSTANTS
+        )
+        above = _ratio_point(
+            synthetic_calibration, x * 3, OPTIMISTIC, DEFAULT_CONSTANTS
+        )
+        assert below.planar_favored
+        assert not above.planar_favored
+
+    def test_higher_congestion_raises_crossover(self, synthetic_calibration):
+        import dataclasses
+
+        congested = dataclasses.replace(
+            synthetic_calibration, braid_congestion=3.0
+        )
+        base = analyze_crossover(
+            "synthetic", OPTIMISTIC, calibration=synthetic_calibration
+        )
+        worse = analyze_crossover(
+            "synthetic", OPTIMISTIC, calibration=congested
+        )
+        assert worse.crossover_size > base.crossover_size
+
+    def test_qubit_ratio_reflects_tile_sizes(self, synthetic_calibration):
+        analysis = analyze_crossover(
+            "synthetic", OPTIMISTIC, calibration=synthetic_calibration
+        )
+        large_points = [
+            p for p in analysis.points if p.computation_size > 1e8
+        ]
+        for point in large_points:
+            assert 2.0 < point.qubit_ratio < 5.0
+
+
+class TestBoundary:
+    def test_boundary_declines_with_error_rate(self, synthetic_calibration):
+        line = boundary_for_app(
+            "synthetic",
+            error_rates=[1e-8, 1e-5, 1e-3],
+            calibration=synthetic_calibration,
+        )
+        defined = [c for c in line.crossover_sizes if c is not None]
+        assert len(defined) >= 2
+        assert defined[0] >= defined[-1]
+
+    def test_as_rows(self, synthetic_calibration):
+        line = boundary_for_app(
+            "synthetic",
+            error_rates=[1e-6, 1e-4],
+            calibration=synthetic_calibration,
+        )
+        rows = line.as_rows()
+        assert len(rows) == 2
+        assert rows[0][0] == pytest.approx(1e-6)

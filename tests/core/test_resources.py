@@ -1,0 +1,86 @@
+"""Tests for the space-time resource estimator."""
+
+import pytest
+
+from repro.apps.scaling import AppScalingModel, PowerLaw
+from repro.core import estimate_double_defect, estimate_planar
+from repro.core.resources import CommunicationConstants
+from repro.tech import CURRENT, OPTIMISTIC
+
+
+@pytest.fixture
+def serial_model() -> AppScalingModel:
+    """Synthetic serial app: qubits ~ sqrt(ops), parallelism 1.5."""
+    return AppScalingModel(
+        app_name="synthetic-serial",
+        qubits_vs_ops=PowerLaw(coefficient=0.5, exponent=0.5),
+        depth_vs_ops=PowerLaw(coefficient=0.7, exponent=1.0),
+        parallelism_factor=1.5,
+        t_fraction=0.4,
+        two_qubit_fraction=0.3,
+        calibration_ops=(1000, 10000),
+    )
+
+
+class TestEstimatePlanar:
+    def test_basic_fields(self, serial_model):
+        est = estimate_planar(serial_model, 1e6, OPTIMISTIC)
+        assert est.code_name == "planar"
+        assert est.distance >= 3
+        assert est.physical_qubits > est.logical_qubits
+        assert est.seconds > 0
+        assert est.spacetime == pytest.approx(
+            est.physical_qubits * est.seconds
+        )
+
+    def test_time_grows_with_size(self, serial_model):
+        small = estimate_planar(serial_model, 1e4, OPTIMISTIC)
+        large = estimate_planar(serial_model, 1e10, OPTIMISTIC)
+        assert large.seconds > small.seconds
+        assert large.physical_qubits > small.physical_qubits
+
+    def test_worse_tech_needs_more_qubits(self, serial_model):
+        good = estimate_planar(serial_model, 1e8, OPTIMISTIC)
+        bad = estimate_planar(serial_model, 1e8, CURRENT)
+        assert bad.distance > good.distance
+        assert bad.physical_qubits > good.physical_qubits
+
+    def test_stall_kicks_in_beyond_lead_budget(self, serial_model):
+        constants = CommunicationConstants(epr_lead_budget=10.0)
+        relaxed = CommunicationConstants(epr_lead_budget=1e12)
+        stalled = estimate_planar(serial_model, 1e10, OPTIMISTIC, constants)
+        free = estimate_planar(serial_model, 1e10, OPTIMISTIC, relaxed)
+        assert stalled.seconds > free.seconds
+
+    def test_rejects_tiny_size(self, serial_model):
+        with pytest.raises(ValueError):
+            estimate_planar(serial_model, 0.5, OPTIMISTIC)
+
+
+class TestEstimateDoubleDefect:
+    def test_basic_fields(self, serial_model):
+        est = estimate_double_defect(
+            serial_model, 1e6, OPTIMISTIC, congestion=1.2
+        )
+        assert est.code_name == "double-defect"
+        assert est.seconds > 0
+
+    def test_congestion_multiplies_time(self, serial_model):
+        calm = estimate_double_defect(serial_model, 1e8, OPTIMISTIC, 1.0)
+        congested = estimate_double_defect(serial_model, 1e8, OPTIMISTIC, 3.0)
+        assert congested.seconds == pytest.approx(3 * calm.seconds)
+        assert congested.physical_qubits == calm.physical_qubits
+
+    def test_rejects_congestion_below_one(self, serial_model):
+        with pytest.raises(ValueError):
+            estimate_double_defect(serial_model, 1e6, OPTIMISTIC, 0.5)
+
+    def test_dd_tiles_bigger_than_planar(self, serial_model):
+        planar = estimate_planar(serial_model, 1e8, OPTIMISTIC)
+        dd = estimate_double_defect(serial_model, 1e8, OPTIMISTIC, 1.0)
+        assert dd.physical_qubits > planar.physical_qubits
+
+    def test_same_distance_choice(self, serial_model):
+        planar = estimate_planar(serial_model, 1e8, OPTIMISTIC)
+        dd = estimate_double_defect(serial_model, 1e8, OPTIMISTIC, 1.0)
+        assert planar.distance == dd.distance

@@ -1,0 +1,132 @@
+"""Unit tests for Clifford+T decomposition."""
+
+import math
+
+import pytest
+
+from repro.frontend.decompose import (
+    DecomposeConfig,
+    decompose_circuit,
+    rz_t_count,
+)
+from repro.qasm import Circuit
+
+
+class TestToffoli:
+    def setup_method(self):
+        c = Circuit("toffoli")
+        c.apply("TOFFOLI", "a", "b", "t")
+        self.lowered = decompose_circuit(c)
+
+    def test_no_composites_remain(self):
+        assert not self.lowered.has_composites()
+
+    def test_seven_t_gates(self):
+        counts = self.lowered.gate_counts()
+        assert counts["T"] + counts["TDG"] == 7
+
+    def test_six_cnots(self):
+        assert self.lowered.gate_counts()["CNOT"] == 6
+
+    def test_two_hadamards(self):
+        assert self.lowered.gate_counts()["H"] == 2
+
+    def test_only_original_qubits(self):
+        assert set(self.lowered.qubits) == {"a", "b", "t"}
+
+
+class TestFredkin:
+    def test_lowered_to_clifford_t(self):
+        c = Circuit()
+        c.apply("FREDKIN", "c", "x", "y")
+        lowered = decompose_circuit(c)
+        assert not lowered.has_composites()
+        counts = lowered.gate_counts()
+        assert counts["T"] + counts["TDG"] == 7
+        assert counts["CNOT"] == 8  # toffoli's 6 + 2 conjugating
+
+
+class TestRz:
+    @pytest.mark.parametrize(
+        "angle,expected_gates",
+        [
+            (0.0, []),
+            (math.pi / 4, ["T"]),
+            (math.pi / 2, ["S"]),
+            (math.pi, ["Z"]),
+            (-math.pi / 4, ["TDG"]),
+            (-math.pi / 2, ["SDG"]),
+            (3 * math.pi / 4, ["S", "T"]),
+            (2 * math.pi, []),
+        ],
+    )
+    def test_exact_eighth_turns(self, angle, expected_gates):
+        c = Circuit()
+        c.apply("RZ", "q", param=angle)
+        lowered = decompose_circuit(c)
+        assert [op.gate for op in lowered] == expected_gates
+
+    def test_generic_angle_t_count_matches_gridsynth(self):
+        c = Circuit()
+        c.apply("RZ", "q", param=0.123)
+        config = DecomposeConfig(rz_precision=1e-10)
+        lowered = decompose_circuit(c, config)
+        counts = lowered.gate_counts()
+        assert counts["T"] + counts["TDG"] == rz_t_count(1e-10)
+
+    def test_deterministic(self):
+        c = Circuit()
+        c.apply("RZ", "q", param=0.377)
+        first = [op.gate for op in decompose_circuit(c)]
+        second = [op.gate for op in decompose_circuit(c)]
+        assert first == second
+
+    def test_higher_precision_costs_more_t(self):
+        assert rz_t_count(1e-15) > rz_t_count(1e-5)
+
+    def test_rz_t_count_validates(self):
+        with pytest.raises(ValueError):
+            rz_t_count(0.0)
+        with pytest.raises(ValueError):
+            rz_t_count(1.5)
+
+    def test_config_validates(self):
+        with pytest.raises(ValueError):
+            DecomposeConfig(rz_precision=0)
+
+
+class TestPassBehavior:
+    def test_non_composites_pass_through(self):
+        c = Circuit()
+        c.apply("H", "a")
+        c.apply("CNOT", "a", "b")
+        lowered = decompose_circuit(c)
+        assert [op.gate for op in lowered] == ["H", "CNOT"]
+
+    def test_fences_preserved(self):
+        c = Circuit()
+        c.apply("H", "a")
+        c.add_fence(["a", "b"])
+        c.apply("TOFFOLI", "a", "b", "t")
+        lowered = decompose_circuit(c)
+        assert len(lowered.fences) == 1
+        position, qubits = lowered.fences[0]
+        assert position == 1  # after the single H
+        assert set(qubits) == {"a", "b"}
+
+    def test_trailing_fence_preserved(self):
+        c = Circuit()
+        c.apply("H", "a")
+        c.add_fence(["a"])
+        lowered = decompose_circuit(c)
+        assert lowered.fences == [(1, ("a",))]
+
+    def test_mixed_circuit(self):
+        c = Circuit()
+        c.apply("H", "a")
+        c.apply("TOFFOLI", "a", "b", "t")
+        c.apply("MEASZ", "t")
+        lowered = decompose_circuit(c)
+        assert lowered[0].gate == "H"
+        assert lowered[-1].gate == "MEASZ"
+        assert len(lowered) == 17  # 1 + 15 + 1

@@ -1,0 +1,78 @@
+"""Tests for logical resource estimation."""
+
+import pytest
+
+from repro.frontend import estimate_circuit, target_logical_error_rate
+from repro.qasm import Circuit
+
+
+def sample_circuit() -> Circuit:
+    c = Circuit("sample")
+    c.apply("PREPZ", "a")
+    c.apply("PREPZ", "b")
+    c.apply("H", "a")
+    c.apply("CNOT", "a", "b")
+    c.apply("T", "b")
+    c.apply("TDG", "a")
+    c.apply("MEASZ", "a")
+    c.apply("MEASZ", "b")
+    return c
+
+
+class TestTargetLogicalErrorRate:
+    def test_paper_example(self):
+        # Section 2.2: 1e12 ops need per-op error <= 0.5e-12.
+        assert target_logical_error_rate(10**12) == pytest.approx(0.5e-12)
+
+    def test_scales_inversely(self):
+        assert target_logical_error_rate(100) == pytest.approx(
+            10 * target_logical_error_rate(1000)
+        )
+
+    def test_custom_success_target(self):
+        assert target_logical_error_rate(10, success_target=0.9) == pytest.approx(
+            0.01
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            target_logical_error_rate(0)
+        with pytest.raises(ValueError):
+            target_logical_error_rate(10, success_target=1.0)
+
+
+class TestEstimateCircuit:
+    def setup_method(self):
+        self.estimate = estimate_circuit(sample_circuit())
+
+    def test_counts(self):
+        assert self.estimate.num_qubits == 2
+        assert self.estimate.total_operations == 8
+        assert self.estimate.t_count == 2
+        assert self.estimate.two_qubit_count == 1
+        assert self.estimate.measurement_count == 2
+
+    def test_critical_path_and_parallelism(self):
+        assert self.estimate.critical_path == 5  # chain on qubit a or b
+        assert self.estimate.parallelism_factor == pytest.approx(8 / 5)
+
+    def test_target_pl(self):
+        assert self.estimate.target_pl == pytest.approx(0.5 / 8)
+        assert self.estimate.computation_size == pytest.approx(16.0)
+
+    def test_fractions(self):
+        assert self.estimate.t_fraction == pytest.approx(2 / 8)
+        assert self.estimate.communication_fraction == pytest.approx(3 / 8)
+
+    def test_histogram(self):
+        assert self.estimate.gate_histogram["PREPZ"] == 2
+        assert self.estimate.gate_histogram["CNOT"] == 1
+
+    def test_summary_row_contains_name(self):
+        assert "sample" in self.estimate.summary_row()
+
+    def test_empty_circuit(self):
+        estimate = estimate_circuit(Circuit("empty"))
+        assert estimate.total_operations == 0
+        assert estimate.t_fraction == 0.0
+        assert estimate.communication_fraction == 0.0

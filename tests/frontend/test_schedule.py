@@ -1,0 +1,133 @@
+"""Tests for logical scheduling, including schedule-validity properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import alap_schedule, asap_schedule, list_schedule
+from repro.qasm import Circuit, CircuitDag
+
+from ..qasm.test_writer import circuits
+
+
+def diamond() -> Circuit:
+    c = Circuit("diamond")
+    c.apply("H", "a")            # 0
+    c.apply("CNOT", "a", "b")    # 1
+    c.apply("CNOT", "a", "c")    # 2
+    c.apply("CNOT", "b", "c")    # 3
+    return c
+
+
+class TestAsapAlap:
+    def test_asap_matches_dag_levels(self):
+        schedule = asap_schedule(diamond())
+        assert schedule.cycles == ((0,), (1,), (2,), (3,))
+
+    def test_alap_valid(self):
+        schedule = alap_schedule(diamond())
+        schedule.validate()
+
+    def test_same_length(self):
+        c = diamond()
+        assert asap_schedule(c).length == alap_schedule(c).length
+
+    def test_empty_circuit(self):
+        schedule = asap_schedule(Circuit())
+        assert schedule.length == 0
+        assert schedule.mean_concurrency == 0.0
+
+    def test_schedule_metrics(self):
+        c = Circuit()
+        c.apply("H", "a")
+        c.apply("H", "b")
+        c.apply("CNOT", "a", "b")
+        schedule = asap_schedule(c)
+        assert schedule.length == 2
+        assert schedule.width == 2
+        assert schedule.num_operations == 3
+        assert schedule.mean_concurrency == pytest.approx(1.5)
+
+    def test_start_cycle(self):
+        schedule = asap_schedule(diamond())
+        assert schedule.start_cycle(0) == 0
+        assert schedule.start_cycle(3) == 3
+        with pytest.raises(KeyError):
+            schedule.start_cycle(99)
+
+
+class TestListSchedule:
+    def test_width_respected(self):
+        c = Circuit()
+        for i in range(10):
+            c.apply("H", f"q{i}")
+        schedule = list_schedule(c, issue_width=3)
+        assert schedule.width <= 3
+        assert schedule.length == 4  # ceil(10/3)
+
+    def test_unbounded_width_matches_asap_length(self):
+        c = diamond()
+        assert list_schedule(c, issue_width=100).length == asap_schedule(c).length
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            list_schedule(Circuit(), issue_width=0)
+
+    def test_criticality_priority_prefers_long_chain(self):
+        c = Circuit()
+        # Chain of 3 on 'a' competes with an isolated gate on 'b'.
+        c.apply("H", "a")
+        c.apply("H", "a")
+        c.apply("H", "a")
+        c.apply("H", "b")
+        schedule = list_schedule(c, issue_width=1)
+        # The chain head has criticality 2 and must issue first.
+        assert schedule.cycles[0] == (0,)
+        assert schedule.length == 4
+
+    def test_custom_priority(self):
+        c = Circuit()
+        c.apply("H", "a")
+        c.apply("H", "b")
+        schedule = list_schedule(c, issue_width=1, priority=lambda i: -i)
+        assert schedule.cycles[0] == (0,)
+        schedule = list_schedule(c, issue_width=1, priority=lambda i: i)
+        assert schedule.cycles[0] == (1,)
+
+    def test_validates(self):
+        for width in (1, 2, 4):
+            list_schedule(diamond(), issue_width=width).validate()
+
+
+class TestScheduleProperties:
+    @given(circuits(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60)
+    def test_list_schedule_always_valid(self, circuit, width):
+        schedule = list_schedule(circuit, issue_width=width)
+        schedule.validate()
+        assert schedule.width <= width
+
+    @given(circuits(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60)
+    def test_length_bounds(self, circuit, width):
+        dag = CircuitDag(circuit)
+        schedule = list_schedule(circuit, issue_width=width, dag=dag)
+        lower = max(
+            dag.critical_path_length,
+            -(-dag.num_nodes // width),  # ceil division
+        )
+        assert schedule.length >= lower
+        assert schedule.length <= dag.num_nodes
+
+    @given(circuits())
+    @settings(max_examples=60)
+    def test_asap_alap_both_valid(self, circuit):
+        dag = CircuitDag(circuit)
+        asap_schedule(circuit, dag).validate(dag)
+        alap_schedule(circuit, dag).validate(dag)
+
+    @given(circuits())
+    @settings(max_examples=60)
+    def test_asap_length_equals_critical_path(self, circuit):
+        dag = CircuitDag(circuit)
+        assert asap_schedule(circuit, dag).length == dag.critical_path_length

@@ -1,0 +1,88 @@
+"""Unit tests for the gate specification table."""
+
+import pytest
+
+from repro.qasm.gates import (
+    GATE_SPECS,
+    GateKind,
+    canonical_gate_name,
+    gate_spec,
+    is_known_gate,
+)
+
+
+class TestGateLookup:
+    def test_all_specs_self_consistent(self):
+        for name, spec in GATE_SPECS.items():
+            assert spec.name == name
+            assert spec.arity >= 1
+
+    @pytest.mark.parametrize(
+        "alias,canonical",
+        [
+            ("cx", "CNOT"),
+            ("CX", "CNOT"),
+            ("ccx", "TOFFOLI"),
+            ("ccnot", "TOFFOLI"),
+            ("cswap", "FREDKIN"),
+            ("tdag", "TDG"),
+            ("sdag", "SDG"),
+            ("measure", "MEASZ"),
+            ("prep", "PREPZ"),
+            ("h", "H"),
+        ],
+    )
+    def test_aliases(self, alias, canonical):
+        assert canonical_gate_name(alias) == canonical
+        assert gate_spec(alias).name == canonical
+
+    def test_unknown_gate_raises_keyerror_with_context(self):
+        with pytest.raises(KeyError, match="bogus"):
+            gate_spec("bogus")
+
+    def test_is_known_gate(self):
+        assert is_known_gate("cnot")
+        assert is_known_gate("T")
+        assert not is_known_gate("quux")
+
+
+class TestGateProperties:
+    def test_t_gates_consume_magic_states(self):
+        assert gate_spec("T").consumes_magic_state
+        assert gate_spec("TDG").consumes_magic_state
+
+    def test_cliffords_do_not_consume_magic_states(self):
+        for name in ["H", "X", "Y", "Z", "S", "SDG", "CNOT", "CZ", "SWAP"]:
+            assert not gate_spec(name).consumes_magic_state, name
+
+    @pytest.mark.parametrize(
+        "name,inverse",
+        [("T", "TDG"), ("TDG", "T"), ("S", "SDG"), ("SDG", "S")],
+    )
+    def test_explicit_inverses(self, name, inverse):
+        assert gate_spec(name).inverse == inverse
+
+    @pytest.mark.parametrize(
+        "name", ["H", "X", "Y", "Z", "CNOT", "CZ", "SWAP", "TOFFOLI", "FREDKIN"]
+    )
+    def test_self_inverse_gates(self, name):
+        assert gate_spec(name).inverse == name
+
+    def test_composites_flagged(self):
+        assert gate_spec("TOFFOLI").is_composite
+        assert gate_spec("FREDKIN").is_composite
+        assert gate_spec("RZ").is_composite
+        assert not gate_spec("CNOT").is_composite
+
+    def test_rz_is_parametric(self):
+        assert gate_spec("RZ").parametric
+        assert not gate_spec("T").parametric
+
+    def test_arities(self):
+        assert gate_spec("H").arity == 1
+        assert gate_spec("CNOT").arity == 2
+        assert gate_spec("TOFFOLI").arity == 3
+
+    def test_kind_partitioning(self):
+        kinds = {spec.kind for spec in GATE_SPECS.values()}
+        assert kinds == set(GateKind)

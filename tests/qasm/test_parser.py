@@ -1,0 +1,156 @@
+"""Unit tests for both QASM dialect parsers."""
+
+import math
+
+import pytest
+
+from repro.qasm import QasmParseError, parse_qasm
+from repro.qasm.parser import parse_flat_qasm, parse_openqasm2
+
+FLAT = """\
+# bell pair
+qubit a
+qubit b
+PrepZ a
+PrepZ b
+H a
+CNOT a,b
+MeasZ a
+"""
+
+OPENQASM = """\
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+t q[2];
+rz(pi/4) q[1];
+measure q[0] -> c[0];
+"""
+
+
+class TestDialectDetection:
+    def test_detects_flat(self):
+        assert len(parse_qasm(FLAT)) == 5
+
+    def test_detects_openqasm(self):
+        c = parse_qasm(OPENQASM)
+        assert c.num_qubits == 3
+        assert [op.gate for op in c] == ["H", "CNOT", "T", "RZ", "MEASZ"]
+
+
+class TestFlatParser:
+    def test_declared_qubit_order(self):
+        c = parse_flat_qasm(FLAT)
+        assert c.qubits == ["a", "b"]
+
+    def test_comments_and_blank_lines_ignored(self):
+        c = parse_flat_qasm("# only comments\n\n   \n# more\n")
+        assert len(c) == 0
+
+    def test_inline_comment(self):
+        c = parse_flat_qasm("H a  # hadamard\n")
+        assert len(c) == 1
+
+    def test_aliases_accepted(self):
+        c = parse_flat_qasm("cx a,b\nccx a,b,c\n")
+        assert [op.gate for op in c] == ["CNOT", "TOFFOLI"]
+
+    def test_parametric_gate(self):
+        c = parse_flat_qasm("RZ(0.25) a\n")
+        assert c[0].param == pytest.approx(0.25)
+
+    def test_unknown_gate_reports_line(self):
+        with pytest.raises(QasmParseError, match="line 2"):
+            parse_flat_qasm("H a\nWIBBLE a\n")
+
+    def test_missing_operand_rejected(self):
+        with pytest.raises(QasmParseError, match="no operands"):
+            parse_flat_qasm("H\n")
+
+    def test_arity_error_has_context(self):
+        with pytest.raises(QasmParseError, match="expects 2 qubits"):
+            parse_flat_qasm("CNOT a\n")
+
+    def test_cbit_declaration_ignored(self):
+        c = parse_flat_qasm("cbit c0\nqubit a\nH a\n")
+        assert c.qubits == ["a"]
+
+    def test_whitespace_in_operands(self):
+        c = parse_flat_qasm("CNOT a , b\n")
+        assert c[0].qubits == ("a", "b")
+
+
+class TestOpenQasmParser:
+    def test_register_expansion(self):
+        c = parse_openqasm2("OPENQASM 2.0; qreg r[2]; h r[0];")
+        assert c.qubits == ["r0", "r1"]
+
+    def test_whole_register_broadcast(self):
+        c = parse_openqasm2("OPENQASM 2.0; qreg q[3]; h q;")
+        assert len(c) == 3
+        assert {op.qubits[0] for op in c} == {"q0", "q1", "q2"}
+
+    def test_broadcast_two_registers(self):
+        c = parse_openqasm2(
+            "OPENQASM 2.0; qreg a[2]; qreg b[2]; cx a,b;"
+        )
+        assert [op.qubits for op in c] == [("a0", "b0"), ("a1", "b1")]
+
+    def test_mismatched_broadcast_rejected(self):
+        with pytest.raises(QasmParseError, match="broadcast"):
+            parse_openqasm2("OPENQASM 2.0; qreg a[2]; qreg b[3]; cx a,b;")
+
+    def test_measure_arrow(self):
+        c = parse_openqasm2(
+            "OPENQASM 2.0; qreg q[1]; creg c[1]; measure q[0] -> c[0];"
+        )
+        assert c[0].gate == "MEASZ"
+
+    def test_measure_whole_register(self):
+        c = parse_openqasm2("OPENQASM 2.0; qreg q[2]; measure q;")
+        assert len(c) == 2
+
+    def test_reset_becomes_prepz(self):
+        c = parse_openqasm2("OPENQASM 2.0; qreg q[1]; reset q[0];")
+        assert c[0].gate == "PREPZ"
+
+    def test_pi_expression(self):
+        c = parse_openqasm2("OPENQASM 2.0; qreg q[1]; rz(pi/2) q[0];")
+        assert c[0].param == pytest.approx(math.pi / 2)
+
+    def test_multiline_statement(self):
+        c = parse_openqasm2("OPENQASM 2.0;\nqreg q[2];\ncx\n  q[0],\n  q[1];")
+        assert c[0].gate == "CNOT"
+
+    def test_line_comments(self):
+        c = parse_openqasm2("OPENQASM 2.0; // header\nqreg q[1]; h q[0]; // h\n")
+        assert len(c) == 1
+
+    def test_out_of_range_index(self):
+        with pytest.raises(QasmParseError, match="out of range"):
+            parse_openqasm2("OPENQASM 2.0; qreg q[2]; h q[5];")
+
+    def test_unknown_register(self):
+        with pytest.raises(QasmParseError, match="unknown register"):
+            parse_openqasm2("OPENQASM 2.0; h q[0];")
+
+    def test_unsupported_gate(self):
+        with pytest.raises(QasmParseError, match="unsupported"):
+            parse_openqasm2("OPENQASM 2.0; qreg q[1]; u3(1,2,3) q[0];")
+
+    def test_unterminated_statement(self):
+        with pytest.raises(QasmParseError, match="unterminated"):
+            parse_openqasm2("OPENQASM 2.0; qreg q[1]; h q[0]")
+
+    def test_barrier_ignored(self):
+        c = parse_openqasm2("OPENQASM 2.0; qreg q[2]; barrier q; h q[0];")
+        assert len(c) == 1
+
+    def test_malicious_parameter_rejected(self):
+        with pytest.raises(QasmParseError, match="parameter|malformed"):
+            parse_openqasm2(
+                "OPENQASM 2.0; qreg q[1]; rz(__import__('os')) q[0];"
+            )

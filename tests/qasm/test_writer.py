@@ -1,0 +1,100 @@
+"""Round-trip tests for QASM serialization, including property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qasm import Circuit, Operation, parse_qasm
+from repro.qasm.writer import write_flat_qasm, write_openqasm2
+
+SINGLE_QUBIT_GATES = ["H", "X", "Y", "Z", "S", "SDG", "T", "TDG", "PREPZ", "MEASZ"]
+TWO_QUBIT_GATES = ["CNOT", "CZ", "SWAP"]
+
+
+@st.composite
+def circuits(draw) -> Circuit:
+    """Random well-formed circuits over a small qubit pool."""
+    num_qubits = draw(st.integers(min_value=1, max_value=6))
+    qubits = [f"q{i}" for i in range(num_qubits)]
+    circuit = Circuit("random", qubits=qubits)
+    num_ops = draw(st.integers(min_value=0, max_value=30))
+    for _ in range(num_ops):
+        if num_qubits >= 2 and draw(st.booleans()):
+            gate = draw(st.sampled_from(TWO_QUBIT_GATES))
+            pair = draw(st.permutations(qubits))[:2]
+            circuit.apply(gate, *pair)
+        elif draw(st.integers(0, 9)) == 0:
+            angle = draw(
+                st.floats(
+                    min_value=-10,
+                    max_value=10,
+                    allow_nan=False,
+                    allow_infinity=False,
+                )
+            )
+            circuit.apply("RZ", draw(st.sampled_from(qubits)), param=angle)
+        else:
+            gate = draw(st.sampled_from(SINGLE_QUBIT_GATES))
+            circuit.apply(gate, draw(st.sampled_from(qubits)))
+    return circuit
+
+
+class TestFlatRoundTrip:
+    @given(circuits())
+    @settings(max_examples=100)
+    def test_round_trip_exact(self, circuit):
+        parsed = parse_qasm(write_flat_qasm(circuit))
+        assert parsed.qubits == circuit.qubits
+        assert len(parsed) == len(circuit)
+        for original, round_tripped in zip(circuit, parsed):
+            assert round_tripped.gate == original.gate
+            assert round_tripped.qubits == original.qubits
+            if original.param is None:
+                assert round_tripped.param is None
+            else:
+                assert round_tripped.param == pytest.approx(original.param)
+
+    def test_header_comment_contains_name(self):
+        c = Circuit("my_app")
+        assert "# my_app" in write_flat_qasm(c)
+
+    def test_empty_circuit(self):
+        parsed = parse_qasm(write_flat_qasm(Circuit("empty")))
+        assert len(parsed) == 0
+        assert parsed.num_qubits == 0
+
+
+class TestOpenQasmWriter:
+    def test_round_trip_gate_sequence(self):
+        c = Circuit("t")
+        c.apply("H", "alpha")
+        c.apply("CNOT", "alpha", "beta")
+        c.apply("T", "beta")
+        c.apply("MEASZ", "alpha")
+        parsed = parse_qasm(write_openqasm2(c))
+        assert [op.gate for op in parsed] == ["H", "CNOT", "T", "MEASZ"]
+
+    def test_measx_lowered_to_h_then_measure(self):
+        c = Circuit("t")
+        c.apply("MEASX", "a")
+        parsed = parse_qasm(write_openqasm2(c))
+        assert [op.gate for op in parsed] == ["H", "MEASZ"]
+
+    def test_prepx_lowered_to_reset_then_h(self):
+        c = Circuit("t")
+        c.apply("PREPX", "a")
+        parsed = parse_qasm(write_openqasm2(c))
+        assert [op.gate for op in parsed] == ["PREPZ", "H"]
+
+    def test_original_names_recorded(self):
+        c = Circuit("t")
+        c.apply("H", "data_qubit")
+        text = write_openqasm2(c)
+        assert "q[0] was data_qubit" in text
+
+    @given(circuits())
+    @settings(max_examples=50)
+    def test_openqasm_output_always_reparses(self, circuit):
+        parsed = parse_qasm(write_openqasm2(circuit))
+        # MeasX/PrepX expand, so op count may grow but never shrink.
+        assert len(parsed) >= len(circuit)

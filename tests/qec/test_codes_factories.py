@@ -1,0 +1,114 @@
+"""Tests for the surface code cost models and factory models."""
+
+import pytest
+
+from repro.qasm.gates import GateKind
+from repro.qec import (
+    DOUBLE_DEFECT,
+    EPR_FACTORY,
+    MAGIC_STATE_FACTORY,
+    PLANAR,
+    CommunicationStyle,
+    ancilla_region_tiles,
+    factories_needed,
+)
+
+
+class TestCodeModels:
+    def test_planar_tile_is_smaller(self):
+        """Paper Section 3: planar tiles need fewer qubits at equal d."""
+        for d in (3, 5, 9, 15, 25):
+            assert PLANAR.tile_qubits(d) < DOUBLE_DEFECT.tile_qubits(d)
+
+    def test_planar_tile_formula(self):
+        assert PLANAR.tile_qubits(3) == 25  # (2*3-1)^2
+        assert PLANAR.tile_qubits(5) == 81
+
+    def test_double_defect_area_factor(self):
+        assert DOUBLE_DEFECT.tile_qubits(4) == 200  # 12.5 * 16
+
+    def test_tile_ratio_roughly_constant(self):
+        ratios = [
+            DOUBLE_DEFECT.tile_qubits(d) / PLANAR.tile_qubits(d)
+            for d in (5, 9, 15, 25)
+        ]
+        assert all(2.0 < r < 4.0 for r in ratios)
+
+    def test_tile_qubits_validation(self):
+        with pytest.raises(ValueError):
+            PLANAR.tile_qubits(0)
+
+    def test_communication_styles(self):
+        assert PLANAR.communication is CommunicationStyle.TELEPORTATION
+        assert DOUBLE_DEFECT.communication is CommunicationStyle.BRAIDING
+
+    def test_prefetchability_matches_table1(self):
+        assert PLANAR.communication.prefetchable
+        assert not DOUBLE_DEFECT.communication.prefetchable
+
+    def test_braid_two_qubit_cost_scales_with_distance(self):
+        # Figure 5: two braid segments each stabilized for d cycles.
+        assert DOUBLE_DEFECT.two_qubit_cycles(5) == 12  # 2d + 2
+        assert DOUBLE_DEFECT.two_qubit_cycles(9) == 20
+
+    def test_t_costs_more_than_cnot(self):
+        for code in (PLANAR, DOUBLE_DEFECT):
+            assert code.t_cycles(9) > code.two_qubit_cycles(9)
+
+    @pytest.mark.parametrize(
+        "kind",
+        [
+            GateKind.CLIFFORD_1Q,
+            GateKind.CLIFFORD_2Q,
+            GateKind.NON_CLIFFORD,
+            GateKind.MEASUREMENT,
+            GateKind.PREPARATION,
+        ],
+    )
+    def test_op_cycles_all_kinds(self, kind):
+        for code in (PLANAR, DOUBLE_DEFECT):
+            assert code.op_cycles(kind, 9) > 0
+
+    def test_composites_rejected(self):
+        with pytest.raises(ValueError, match="decomposed"):
+            PLANAR.op_cycles(GateKind.COMPOSITE, 9)
+
+
+class TestFactories:
+    def test_magic_state_factory_is_12_tiles(self):
+        """Section 4.3: 'every magic state factory consumes 12 encoded
+        qubits' [41]."""
+        assert MAGIC_STATE_FACTORY.tiles == 12
+
+    def test_epr_factory_cheaper(self):
+        assert EPR_FACTORY.tiles < MAGIC_STATE_FACTORY.tiles
+
+    def test_qubit_footprint(self):
+        d = 5
+        assert MAGIC_STATE_FACTORY.qubits(PLANAR, d) == 12 * 81
+
+    def test_throughput_decreases_with_distance(self):
+        assert MAGIC_STATE_FACTORY.throughput(15) < MAGIC_STATE_FACTORY.throughput(5)
+
+    def test_factories_needed_scales_with_demand(self):
+        few = factories_needed(0.01, MAGIC_STATE_FACTORY, 9)
+        many = factories_needed(1.0, MAGIC_STATE_FACTORY, 9)
+        assert many > few >= 1
+
+    def test_factories_needed_zero_demand(self):
+        assert factories_needed(0.0, MAGIC_STATE_FACTORY, 9) == 0
+
+    def test_factories_needed_validation(self):
+        with pytest.raises(ValueError):
+            factories_needed(-1.0, MAGIC_STATE_FACTORY, 9)
+
+    def test_ancilla_region_default_quarter(self):
+        """Section 4.3: 1:4 ancilla-to-data ratio."""
+        assert ancilla_region_tiles(100) == 25
+        assert ancilla_region_tiles(10) == 3  # ceil
+
+    def test_ancilla_region_validation(self):
+        with pytest.raises(ValueError):
+            ancilla_region_tiles(-1)
+        with pytest.raises(ValueError):
+            ancilla_region_tiles(10, ratio=0.0)

@@ -1,0 +1,88 @@
+"""Tests for code distance selection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qec import (
+    choose_distance,
+    logical_error_rate,
+    max_computation_size,
+)
+from repro.tech import CURRENT, OPTIMISTIC, Technology, technology_for_error_rate
+
+
+class TestLogicalErrorRate:
+    def test_decreases_with_distance(self):
+        assert logical_error_rate(7, CURRENT) < logical_error_rate(5, CURRENT)
+
+    def test_decreases_with_better_tech(self):
+        assert logical_error_rate(5, OPTIMISTIC) < logical_error_rate(5, CURRENT)
+
+    def test_formula(self):
+        tech = Technology(physical_error_rate=1e-4, threshold_error_rate=1e-2)
+        # (1e-2)^((5+1)/2) = 1e-6, times prefactor 0.03.
+        assert logical_error_rate(5, tech) == pytest.approx(0.03e-6)
+
+    def test_rejects_bad_distance(self):
+        with pytest.raises(ValueError):
+            logical_error_rate(0, CURRENT)
+
+
+class TestChooseDistance:
+    def test_meets_target(self):
+        for target in (1e-6, 1e-10, 1e-15):
+            d = choose_distance(target, CURRENT)
+            assert logical_error_rate(d, CURRENT) <= target
+
+    def test_minimal_odd(self):
+        d = choose_distance(1e-10, CURRENT)
+        assert d % 2 == 1
+        assert d >= 5
+        # d-2 must NOT meet the target (minimality).
+        assert logical_error_rate(d - 2, CURRENT) > 1e-10
+
+    def test_easy_target_gives_smallest_code(self):
+        assert choose_distance(0.5, OPTIMISTIC) == 3
+
+    def test_better_tech_needs_smaller_distance(self):
+        target = 1e-12
+        assert choose_distance(target, OPTIMISTIC) < choose_distance(
+            target, CURRENT
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            choose_distance(0.0, CURRENT)
+        with pytest.raises(ValueError):
+            choose_distance(1.5, CURRENT)
+
+    def test_near_threshold_tech_can_fail(self):
+        tech = Technology(
+            physical_error_rate=9.99e-3, threshold_error_rate=1e-2
+        )
+        with pytest.raises(ValueError, match="cannot reach"):
+            choose_distance(1e-30, tech)
+
+    @given(
+        st.floats(min_value=1e-30, max_value=1e-2),
+        st.sampled_from([1e-8, 1e-6, 1e-4, 1e-3]),
+    )
+    @settings(max_examples=80)
+    def test_always_meets_target_property(self, target, p_phys):
+        tech = technology_for_error_rate(p_phys)
+        d = choose_distance(target, tech)
+        assert d % 2 == 1
+        assert logical_error_rate(d, tech) <= target
+
+
+class TestMaxComputationSize:
+    def test_inverse_of_budget(self):
+        d = 9
+        size = max_computation_size(d, CURRENT)
+        assert size * logical_error_rate(d, CURRENT) == pytest.approx(0.5)
+
+    def test_monotone_in_distance(self):
+        assert max_computation_size(11, CURRENT) > max_computation_size(
+            9, CURRENT
+        )

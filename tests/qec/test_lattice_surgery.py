@@ -1,0 +1,56 @@
+"""Tests for the lattice-surgery extension model (Section 8.2)."""
+
+import pytest
+
+from repro.qec import DOUBLE_DEFECT, PLANAR
+from repro.qec.lattice_surgery import (
+    DEFAULT_LATTICE_SURGERY,
+    LatticeSurgeryModel,
+)
+
+
+class TestLatticeSurgery:
+    def test_latency_scales_with_distance_and_hops(self):
+        m = DEFAULT_LATTICE_SURGERY
+        assert m.communication_cycles(4, 9) == 2 * m.communication_cycles(2, 9)
+        assert m.communication_cycles(2, 18) == 2 * m.communication_cycles(2, 9)
+
+    def test_adjacent_patches_still_pay_one_merge_split(self):
+        m = DEFAULT_LATTICE_SURGERY
+        assert m.communication_cycles(0, 5) == m.communication_cycles(1, 5)
+        assert m.communication_cycles(1, 5) == 10  # (1+1) * d
+
+    def test_not_prefetchable(self):
+        assert not DEFAULT_LATTICE_SURGERY.is_prefetchable()
+
+    def test_channel_tiles(self):
+        m = DEFAULT_LATTICE_SURGERY
+        assert m.channel_tiles(1) == 0
+        assert m.channel_tiles(5) == 4
+        with pytest.raises(ValueError):
+            m.channel_tiles(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatticeSurgeryModel(rounds_per_merge=0)
+        with pytest.raises(ValueError):
+            DEFAULT_LATTICE_SURGERY.communication_cycles(-1, 5)
+        with pytest.raises(ValueError):
+            DEFAULT_LATTICE_SURGERY.communication_cycles(2, 0)
+
+    def test_section_8_2_argument(self):
+        """Surgery has neither braiding's speed nor teleportation's
+        prefetchability: for long-distance communication it is the
+        slowest option, which is why the paper sets it aside."""
+        comparison = DEFAULT_LATTICE_SURGERY.compare_against(
+            PLANAR, DOUBLE_DEFECT, hops=8, distance=9
+        )
+        assert comparison["lattice-surgery"] > comparison["braiding"]
+        assert (
+            comparison["lattice-surgery"]
+            > comparison["teleportation(prefetched)"]
+        )
+
+    def test_compare_requires_braiding_code(self):
+        with pytest.raises(ValueError, match="braiding"):
+            DEFAULT_LATTICE_SURGERY.compare_against(PLANAR, PLANAR, 2, 5)

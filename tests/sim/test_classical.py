@@ -1,0 +1,95 @@
+"""Tests for the classical reversible simulator."""
+
+import pytest
+
+from repro.qasm import Circuit
+from repro.sim import ClassicalState, register_value, simulate_classical
+
+
+class TestClassicalState:
+    def test_default_zero(self):
+        state = ClassicalState()
+        assert state["anything"] == 0
+
+    def test_set_get(self):
+        state = ClassicalState({"a": 1})
+        assert state["a"] == 1
+        state["b"] = 1
+        assert state["b"] == 1
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            ClassicalState({"a": 2})
+
+    def test_register_round_trip(self):
+        state = ClassicalState()
+        reg = ["r0", "r1", "r2", "r3"]
+        state.load_register(reg, 11)
+        assert state.register_value(reg) == 11
+        assert state["r0"] == 1  # little-endian LSB
+
+    def test_load_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            ClassicalState().load_register(["r0"], 2)
+
+
+class TestSimulation:
+    def test_x(self):
+        c = Circuit()
+        c.apply("X", "a")
+        assert simulate_classical(c)["a"] == 1
+
+    def test_cnot(self):
+        c = Circuit()
+        c.apply("CNOT", "a", "b")
+        assert simulate_classical(c, {"a": 1})["b"] == 1
+        assert simulate_classical(c, {"a": 0})["b"] == 0
+
+    def test_toffoli(self):
+        c = Circuit()
+        c.apply("TOFFOLI", "a", "b", "t")
+        assert simulate_classical(c, {"a": 1, "b": 1})["t"] == 1
+        assert simulate_classical(c, {"a": 1, "b": 0})["t"] == 0
+
+    def test_swap(self):
+        c = Circuit()
+        c.apply("SWAP", "a", "b")
+        state = simulate_classical(c, {"a": 1})
+        assert state["a"] == 0
+        assert state["b"] == 1
+
+    def test_fredkin(self):
+        c = Circuit()
+        c.apply("FREDKIN", "ctl", "a", "b")
+        on = simulate_classical(c, {"ctl": 1, "a": 1})
+        assert (on["a"], on["b"]) == (0, 1)
+        off = simulate_classical(c, {"ctl": 0, "a": 1})
+        assert (off["a"], off["b"]) == (1, 0)
+
+    def test_prepz_resets(self):
+        c = Circuit()
+        c.apply("PREPZ", "a")
+        assert simulate_classical(c, {"a": 1})["a"] == 0
+
+    def test_measz_identity(self):
+        c = Circuit()
+        c.apply("MEASZ", "a")
+        assert simulate_classical(c, {"a": 1})["a"] == 1
+
+    def test_rejects_quantum_gates(self):
+        c = Circuit()
+        c.apply("H", "a")
+        with pytest.raises(ValueError, match="not classical-reversible"):
+            simulate_classical(c)
+
+    def test_initial_state_not_mutated(self):
+        initial = ClassicalState({"a": 0})
+        c = Circuit()
+        c.apply("X", "a")
+        simulate_classical(c, initial)
+        assert initial["a"] == 0
+
+    def test_register_value_helper(self):
+        c = Circuit()
+        c.apply("X", "r1")
+        assert register_value(c, ["r0", "r1"]) == 2

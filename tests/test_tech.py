@@ -1,0 +1,85 @@
+"""Unit tests for the technology model."""
+
+import dataclasses
+
+import pytest
+
+from repro.tech import (
+    CURRENT,
+    INTERMEDIATE,
+    OPTIMISTIC,
+    Technology,
+    technology_for_error_rate,
+)
+
+
+class TestTechnologyValidation:
+    def test_default_is_valid(self):
+        tech = Technology()
+        assert 0 < tech.physical_error_rate < tech.threshold_error_rate
+
+    def test_rejects_error_rate_above_threshold(self):
+        with pytest.raises(ValueError, match="below threshold"):
+            Technology(physical_error_rate=0.5, threshold_error_rate=0.01)
+
+    def test_rejects_error_rate_equal_threshold(self):
+        with pytest.raises(ValueError, match="below threshold"):
+            Technology(physical_error_rate=0.01, threshold_error_rate=0.01)
+
+    @pytest.mark.parametrize("rate", [0.0, -1e-3, 1.0, 2.0])
+    def test_rejects_out_of_range_error_rate(self, rate):
+        with pytest.raises(ValueError):
+            Technology(physical_error_rate=rate)
+
+    @pytest.mark.parametrize(
+        "field",
+        ["cycle_time_ns", "gate_time_1q_ns", "gate_time_2q_ns", "measure_time_ns"],
+    )
+    def test_rejects_nonpositive_latencies(self, field):
+        with pytest.raises(ValueError, match=field):
+            Technology(**{field: 0.0})
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            CURRENT.physical_error_rate = 0.5
+
+
+class TestTechnologyBehavior:
+    def test_presets_span_paper_sweep(self):
+        assert CURRENT.physical_error_rate == 1e-3
+        assert OPTIMISTIC.physical_error_rate == 1e-8
+        assert (
+            OPTIMISTIC.physical_error_rate
+            < INTERMEDIATE.physical_error_rate
+            < CURRENT.physical_error_rate
+        )
+
+    def test_error_suppression_base(self):
+        tech = Technology(physical_error_rate=1e-4, threshold_error_rate=1e-2)
+        assert tech.error_suppression_base == pytest.approx(1e-2)
+
+    def test_with_error_rate_round_trip(self):
+        derived = CURRENT.with_error_rate(1e-6)
+        assert derived.physical_error_rate == 1e-6
+        assert derived.cycle_time_ns == CURRENT.cycle_time_ns
+        assert derived.name != CURRENT.name
+
+    def test_seconds_conversion(self):
+        tech = Technology(cycle_time_ns=400.0)
+        assert tech.seconds(0) == 0.0
+        assert tech.seconds(2_500_000) == pytest.approx(1.0)
+
+    def test_seconds_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CURRENT.seconds(-1)
+
+    def test_single_qubit_gates_10x_faster(self):
+        # Figure 7 caption: 1q ops are 10x faster than 2q ops.
+        assert CURRENT.gate_time_2q_ns == pytest.approx(
+            10 * CURRENT.gate_time_1q_ns
+        )
+
+    def test_factory_helper(self):
+        tech = technology_for_error_rate(3e-7)
+        assert tech.physical_error_rate == 3e-7
+        assert "3e-07" in tech.name
