@@ -7,29 +7,14 @@ mesh at d=9) and print the quantified table.
 """
 
 from repro.core import format_table1
-from repro.network import DEFAULT_TELEPORT_MODEL, BraidMesh, dor_path, path_links
-from repro.qec import DOUBLE_DEFECT, PLANAR
+from repro.runner.report import measure_table1
 
 
 def _measure():
-    d = 9
-    mesh = BraidMesh(8, 8)
-    src, dst = (0, 0), (7, 7)
-
-    # Braiding: the braid claims its whole route for ~2 cycles of
-    # open/close (latency seen by the op is segment-hold-dominated but
-    # distance-INDEPENDENT); space = the claimed route's channel qubits.
-    braid_latency = 2.0  # open + close; length-independent (Table 1 "Low")
-    route_links = len(path_links(dor_path(src, dst)))
-    braid_qubits = route_links * DOUBLE_DEFECT.tile_qubits(d) // 4
-
-    # Teleportation: latency = swap-chain distribution (high, distance-
-    # dependent) unless prefetched; space = one EPR pair in flight.
-    teleport_latency = DEFAULT_TELEPORT_MODEL.communication_cycles(
-        (0, 0), src, dst, d, prefetched=False
-    )
-    teleport_qubits = 2 * PLANAR.tile_qubits(d)
-    return teleport_qubits, teleport_latency, braid_qubits, braid_latency
+    # One corner-to-corner communication across an 8x8-tile mesh at
+    # d=9; braiding is space-hungry but distance-independent in
+    # latency, teleportation the reverse (see runner.report).
+    return measure_table1(distance=9, mesh_side=8)
 
 
 def test_table1_shape(benchmark):

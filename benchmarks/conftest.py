@@ -31,5 +31,8 @@ def calibrations():
 def fig6_sim_sizes():
     """Instance sizes for the Figure 6 braid-policy sweep: small enough
     to simulate 7 policies per app in seconds-to-minutes, large enough
-    to exhibit each application's contention regime."""
-    return {"gse": 4, "sq": 3, "sha1": 4, "im": 12}
+    to exhibit each application's contention regime (the registry's
+    per-app ``sim_size`` knobs)."""
+    from repro.runner import SMALL_SIM_SIZES
+
+    return dict(SMALL_SIM_SIZES)

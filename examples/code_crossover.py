@@ -4,23 +4,35 @@ For a chosen application and physical error rate, sweeps computation
 sizes, prints the normalized double-defect/planar resource ratios, and
 locates the favorability crossover.
 
-Run:  python examples/code_crossover.py [app] [pP]
-      (defaults: sq 1e-8)
+The simulator-backed calibration (braid congestion, EPR stalls) runs
+through the staged runner cache: pass a cache directory and repeat
+runs -- at any error rate -- skip the simulations entirely.
+
+Run:  python examples/code_crossover.py [app] [pP] [cache_dir]
+      (defaults: sq 1e-8, no disk cache)
 """
 
 import sys
 
-from repro.core import analyze_crossover, format_fig8
+from repro.core import analyze_crossover, calibrate_app, format_fig8
+from repro.runner import StageCache
 from repro.tech import technology_for_error_rate
 
 
-def main(app: str = "sq", error_rate: float = 1e-8) -> None:
+def main(
+    app: str = "sq",
+    error_rate: float = 1e-8,
+    cache_dir: str | None = None,
+) -> None:
     tech = technology_for_error_rate(error_rate)
+    cache = StageCache(cache_dir)
     print(
         f"analyzing {app} at pP = {error_rate:g} "
         "(calibrating simulators on a small instance first)..."
     )
-    analysis = analyze_crossover(app, tech)
+    calibration = calibrate_app(app, cache=cache)
+    print(f"calibration cache: {cache.stats.summary()}")
+    analysis = analyze_crossover(app, tech, calibration=calibration)
     print()
     print(format_fig8(analysis))
     if analysis.crossover_size is not None:
@@ -35,4 +47,5 @@ def main(app: str = "sq", error_rate: float = 1e-8) -> None:
 if __name__ == "__main__":
     app = sys.argv[1] if len(sys.argv) > 1 else "sq"
     rate = float(sys.argv[2]) if len(sys.argv) > 2 else 1e-8
-    main(app, rate)
+    cache_dir = sys.argv[3] if len(sys.argv) > 3 else None
+    main(app, rate, cache_dir)

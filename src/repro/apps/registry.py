@@ -20,7 +20,7 @@ from .ising import IsingParams, build_ising
 from .sha1 import Sha1Params, build_sha1
 from .sq import SqParams, build_sq
 
-__all__ = ["AppSpec", "APPLICATIONS", "get_app", "build_circuit"]
+__all__ = ["AppSpec", "APPLICATIONS", "SIM_SIZES", "get_app", "build_circuit"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -34,6 +34,9 @@ class AppSpec:
         paper_parallelism: Parallelism factor reported in Table 2.
         build: Size knob -> hierarchical program.
         default_size: Size used by benchmarks when none is given.
+        sim_size: "Small" instance size for cycle-accurate simulation:
+            large enough to exhibit the app's contention regime, small
+            enough to simulate all seven braid policies in seconds.
         serial: True for the paper's "mostly-serial" class (GSE, SQ).
         scaling_build: Optional alternate builder for the *scaling*
             calibration, when the asymptotic growth regime differs from
@@ -47,6 +50,7 @@ class AppSpec:
     paper_parallelism: float
     build: Callable[[int], Program]
     default_size: int
+    sim_size: int
     serial: bool
     scaling_build: Optional[Callable[[int], Program]] = None
 
@@ -82,6 +86,7 @@ APPLICATIONS: dict[str, AppSpec] = {
             paper_parallelism=1.2,
             build=lambda size: build_gse(GseParams(num_orbitals=size)),
             default_size=6,
+            sim_size=4,
             serial=True,
         ),
         AppSpec(
@@ -91,6 +96,7 @@ APPLICATIONS: dict[str, AppSpec] = {
             paper_parallelism=1.5,
             build=lambda size: build_sq(SqParams(num_bits=size)),
             default_size=4,
+            sim_size=3,
             serial=True,
         ),
         AppSpec(
@@ -100,6 +106,7 @@ APPLICATIONS: dict[str, AppSpec] = {
             paper_parallelism=29.0,
             build=lambda size: build_sha1(Sha1Params(word_bits=size)),
             default_size=8,
+            sim_size=4,
             serial=False,
             # Asymptotically a SHA-1 attack grows by Grover iterations
             # (fixed width) and by digest/word width for larger hashes;
@@ -120,10 +127,18 @@ APPLICATIONS: dict[str, AppSpec] = {
                 IsingParams(num_spins=size, trotter_steps=max(2, size // 2))
             ),
             default_size=32,
+            sim_size=12,
             serial=False,
         ),
     ]
 }
+
+
+SIM_SIZES: dict[str, int] = {
+    spec.name: spec.sim_size for spec in APPLICATIONS.values()
+}
+"""Per-app "small" simulation sizes (each spec's ``sim_size`` knob),
+shared by the calibration layer and the sweep runner."""
 
 
 def get_app(name: str) -> AppSpec:

@@ -22,7 +22,7 @@ from ..qasm.dag import CircuitDag
 from ..qec.codes import DOUBLE_DEFECT, SurfaceCode
 from ..network.braidsim import BraidSimConfig, BraidSimResult, simulate_braids
 from ..network.mesh import BraidMesh, Router
-from ..network.policies import POLICIES, Policy
+from ..network.policies import Policy
 
 __all__ = ["TiledMachine", "build_tiled_machine"]
 

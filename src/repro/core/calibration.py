@@ -12,29 +12,30 @@ simulators on small instances:
   (Figures 8 and 9).
 * **EPR stall overhead** -- the Multi-SIMD pipeline's fractional latency
   increase at the default window (Section 8.1 reports <= ~4%).
+
+The simulations run through :mod:`repro.runner.stages`, so they share
+results with any sweep using the same stage cache: a Figure 6 policy
+sweep at the calibration sizes leaves the policy-6 braid results the
+calibration needs already cached, and vice versa.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
-from ..apps.registry import get_app
+from ..apps.registry import SIM_SIZES, get_app
 from ..apps.scaling import AppScalingModel, calibrate
-from ..arch.multisimd import build_multisimd_machine
-from ..arch.tiled import build_tiled_machine
-from ..frontend.decompose import decompose_circuit
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..runner.cache import StageCache
 
 __all__ = ["AppCalibration", "calibrate_app", "CALIBRATION_SIM_SIZES"]
 
-CALIBRATION_SIM_SIZES: dict[str, int] = {
-    "gse": 4,
-    "sq": 3,
-    "sha1": 4,
-    "im": 12,
-}
-"""Instance sizes used for simulator calibration (small enough to run in
-seconds, large enough to exhibit each app's contention regime)."""
+CALIBRATION_SIM_SIZES: dict[str, int] = dict(SIM_SIZES)
+"""Instance sizes used for simulator calibration (a copy of the
+registry's :data:`~repro.apps.registry.SIM_SIZES`, kept as a public
+name for backward compatibility)."""
 
 
 @dataclasses.dataclass(frozen=True)
@@ -52,7 +53,40 @@ class AppCalibration:
     epr_overhead: float
 
 
-_CACHE: dict[tuple[str, Optional[int]], AppCalibration] = {}
+_CACHE: dict[tuple[str, Optional[int], int, int], AppCalibration] = {}
+
+
+def _variant_scaling(
+    spec, inline_depth: int
+) -> AppScalingModel:
+    """Variant-specific scaling: fit from two sizes of this variant."""
+    import numpy as np
+
+    from ..frontend.decompose import decompose_circuit
+    from ..frontend.estimate import estimate_circuit
+    from ..apps.scaling import CALIBRATION_SIZES, PowerLaw
+
+    sizes = CALIBRATION_SIZES[spec.name][-2:]
+    estimates = []
+    for s in sizes:
+        lowered = decompose_circuit(spec.circuit(s, inline_depth=inline_depth))
+        estimates.append(estimate_circuit(lowered))
+    ops = [e.total_operations for e in estimates]
+    return AppScalingModel(
+        app_name=f"{spec.name}-inline{inline_depth}",
+        qubits_vs_ops=PowerLaw.fit(ops, [e.num_qubits for e in estimates]),
+        depth_vs_ops=PowerLaw.fit(ops, [e.critical_path for e in estimates]),
+        parallelism_factor=float(
+            np.mean([e.parallelism_factor for e in estimates])
+        ),
+        t_fraction=float(np.mean([e.t_fraction for e in estimates])),
+        two_qubit_fraction=float(
+            np.mean(
+                [e.two_qubit_count / e.total_operations for e in estimates]
+            )
+        ),
+        calibration_ops=tuple(ops),
+    )
 
 
 def calibrate_app(
@@ -62,6 +96,7 @@ def calibrate_app(
     distance: int = 5,
     sim_size: Optional[int] = None,
     use_cache: bool = True,
+    cache: Optional["StageCache"] = None,
 ) -> AppCalibration:
     """Measure the calibration inputs for one application variant.
 
@@ -73,55 +108,54 @@ def calibrate_app(
         distance: Code distance for the calibration simulations.
         sim_size: Override the calibration instance size.
         use_cache: Reuse previous measurements for the same variant.
+        cache: Stage cache for the underlying simulations (the
+            process-wide default cache if omitted).
     """
+    from ..runner import stages
+
     spec = get_app(app_name)
-    key = (spec.name, inline_depth)
-    if use_cache and sim_size is None and key in _CACHE:
+    key = (spec.name, inline_depth, policy, distance)
+    # The memo only applies to the default stage cache: with an explicit
+    # cache the caller expects *that* cache to serve (and be filled by)
+    # the simulations.
+    memoizable = use_cache and sim_size is None and cache is None
+    if memoizable and key in _CACHE:
         return _CACHE[key]
 
-    size = sim_size if sim_size is not None else CALIBRATION_SIM_SIZES[spec.name]
-    circuit = decompose_circuit(spec.circuit(size, inline_depth=inline_depth))
+    size = sim_size if sim_size is not None else spec.sim_size
+    if cache is not None:
+        stage_cache = cache
+    elif use_cache:
+        stage_cache = stages.default_cache()
+    else:
+        # use_cache=False promises a fresh measurement: don't let the
+        # process-wide stage cache serve memoized simulations.
+        stage_cache = stages.StageCache()
 
     if inline_depth is None:
         scaling = calibrate(spec.name)
     else:
-        # Variant-specific scaling: fit from two sizes of this variant.
-        from ..apps.scaling import CALIBRATION_SIZES
+        scaling = _variant_scaling(spec, inline_depth)
 
-        sizes = CALIBRATION_SIZES[spec.name][-2:]
-        estimates = []
-        from ..frontend.estimate import estimate_circuit
-
-        for s in sizes:
-            lowered = decompose_circuit(spec.circuit(s, inline_depth=inline_depth))
-            estimates.append(estimate_circuit(lowered))
-        from ..apps.scaling import PowerLaw
-        import numpy as np
-
-        ops = [e.total_operations for e in estimates]
-        scaling = AppScalingModel(
-            app_name=f"{spec.name}-inline{inline_depth}",
-            qubits_vs_ops=PowerLaw.fit(ops, [e.num_qubits for e in estimates]),
-            depth_vs_ops=PowerLaw.fit(ops, [e.critical_path for e in estimates]),
-            parallelism_factor=float(
-                np.mean([e.parallelism_factor for e in estimates])
-            ),
-            t_fraction=float(np.mean([e.t_fraction for e in estimates])),
-            two_qubit_fraction=float(
-                np.mean(
-                    [e.two_qubit_count / e.total_operations for e in estimates]
-                )
-            ),
-            calibration_ops=tuple(ops),
-        )
-
-    machine = build_tiled_machine(circuit, optimize_layout=True)
-    braid = machine.simulate(policy, distance)
+    braid = stages.compute_braid(
+        stage_cache,
+        spec.name,
+        size,
+        inline_depth,
+        policy=policy,
+        distance=distance,
+        optimize_layout=True,
+    )
     congestion = max(1.0, braid.schedule_to_critical_ratio)
 
-    simd = build_multisimd_machine(circuit, regions=4)
-    schedule = simd.schedule()
-    epr = simd.epr_pipeline(schedule, distance)
+    epr = stages.compute_epr(
+        stage_cache,
+        spec.name,
+        size,
+        inline_depth,
+        regions=4,
+        distance=distance,
+    )
     overhead = max(0.0, epr.latency_overhead)
 
     result = AppCalibration(
@@ -129,6 +163,6 @@ def calibrate_app(
         braid_congestion=congestion,
         epr_overhead=overhead,
     )
-    if use_cache and sim_size is None:
+    if memoizable:
         _CACHE[key] = result
     return result

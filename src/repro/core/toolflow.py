@@ -5,33 +5,36 @@ frontend compilation (flatten, decompose, estimate), backend mapping
 (layout, machine construction), network simulation (braids for
 double-defect, SIMD schedule + EPR pipeline for planar), and the final
 space-time resource accounting for both codes.
+
+Each stage runs through :mod:`repro.runner.stages`, memoized in a
+:class:`~repro.runner.cache.StageCache` keyed by the stage's inputs, so
+repeated runs sharing a prefix (the same circuit across policies,
+distances, or technologies) compute the shared work once per process.
+Pass ``cache`` to control sharing explicitly; by default the
+process-wide cache is used.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
-from ..apps.registry import get_app
-from ..apps.scaling import calibrate
-from ..arch.multisimd import MultiSimdMachine, build_multisimd_machine
-from ..arch.tiled import TiledMachine, build_tiled_machine
-from ..frontend.decompose import decompose_circuit
-from ..frontend.estimate import LogicalEstimate, estimate_circuit
+from ..arch.multisimd import MultiSimdMachine
+from ..arch.tiled import TiledMachine
+from ..frontend.estimate import LogicalEstimate
 from ..network.braidsim import BraidSimResult
 from ..network.epr import EprPipelineResult
 from ..qasm.circuit import Circuit
-from ..qasm.dag import CircuitDag
 from ..qec.distance import choose_distance
 from ..tech import Technology
-from .calibration import AppCalibration, calibrate_app
 from .resources import (
     DEFAULT_CONSTANTS,
     CommunicationConstants,
     SpaceTimeEstimate,
-    estimate_double_defect,
-    estimate_planar,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..runner.cache import StageCache
 
 __all__ = ["ToolflowResult", "run_toolflow"]
 
@@ -81,6 +84,7 @@ def run_toolflow(
     regions: int = 4,
     inline_depth: Optional[int] = None,
     constants: CommunicationConstants = DEFAULT_CONSTANTS,
+    cache: Optional["StageCache"] = None,
 ) -> ToolflowResult:
     """Run the full Figure 4 pipeline on one application instance.
 
@@ -92,46 +96,59 @@ def run_toolflow(
         regions: SIMD region count for the Multi-SIMD machine.
         inline_depth: Flattening depth (None = full inlining).
         constants: Communication model constants.
+        cache: Stage cache to run through (the process-wide default
+            cache if omitted, so repeated calls share stage results).
     """
+    from ..runner import stages
     from ..tech import INTERMEDIATE
 
     tech = tech or INTERMEDIATE
-    spec = get_app(app_name)
-    circuit = decompose_circuit(spec.circuit(size, inline_depth=inline_depth))
-    dag = CircuitDag(circuit)
-    logical = estimate_circuit(circuit, dag)
-    distance = choose_distance(logical.target_pl, tech)
+    cache = cache if cache is not None else stages.default_cache()
 
-    tiled = build_tiled_machine(circuit, optimize_layout=True)
-    braid = tiled.simulate(policy, distance, dag=dag)
+    fe = stages.compute_frontend(cache, app_name, size, inline_depth)
+    distance = choose_distance(fe.logical.target_pl, tech)
 
-    simd = build_multisimd_machine(circuit, regions=regions)
-    schedule = simd.schedule(dag)
-    epr = simd.epr_pipeline(schedule, distance)
-
-    calibration = AppCalibration(
-        scaling=calibrate(spec.name),
-        braid_congestion=max(1.0, braid.schedule_to_critical_ratio),
-        epr_overhead=max(0.0, epr.latency_overhead),
+    # The reference toolflow always maps onto the interaction-aware
+    # layout, whichever policy schedules the braids.
+    tiled = stages.compute_layout(
+        cache, app_name, size, inline_depth, optimize_layout=True
     )
-    planar_est = estimate_planar(
-        calibration.scaling, logical.computation_size, tech, constants
+    braid = stages.compute_braid(
+        cache,
+        app_name,
+        size,
+        inline_depth,
+        policy=policy,
+        distance=distance,
+        optimize_layout=True,
     )
-    dd_est = estimate_double_defect(
-        calibration.scaling,
-        logical.computation_size,
+
+    simd = stages.compute_simd(cache, app_name, size, inline_depth, regions)
+    epr = stages.compute_epr(
+        cache,
+        app_name,
+        size,
+        inline_depth,
+        regions=regions,
+        distance=distance,
+    )
+
+    accounting = stages.compute_accounting(
+        cache,
+        app_name,
+        fe.logical.computation_size,
         tech,
-        congestion=calibration.braid_congestion,
+        congestion=max(1.0, braid.schedule_to_critical_ratio),
         constants=constants,
     )
     return ToolflowResult(
-        circuit=circuit,
-        logical=logical,
+        circuit=fe.circuit,
+        logical=fe.logical,
         distance=distance,
         tiled_machine=tiled,
         braid_result=braid,
-        simd_machine=simd,
+        simd_machine=simd.machine,
         epr_result=epr,
-        planar_estimate=planar_est,
-        double_defect_estimate=dd_est,
+        planar_estimate=accounting.planar,
+        double_defect_estimate=accounting.double_defect,
     )

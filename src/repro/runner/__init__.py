@@ -1,0 +1,42 @@
+"""Staged, cached, parallel execution of the reproduction pipeline.
+
+* :mod:`repro.runner.keys` -- stable stage-invocation identities.
+* :mod:`repro.runner.cache` -- memory + on-disk JSON result cache.
+* :mod:`repro.runner.stages` -- the five pipeline stages + grid points.
+* :mod:`repro.runner.sweep` -- grid expansion, dedup, process fan-out.
+* :mod:`repro.runner.report` -- figure/table rendering from the cache.
+* :mod:`repro.runner.cli` -- ``python -m repro`` (run / sweep / report).
+"""
+
+from .cache import CacheStats, StageCache
+from .keys import StageKey
+from .stages import (
+    PointResult,
+    PointSpec,
+    default_cache,
+    reset_default_cache,
+    run_point,
+)
+from .sweep import (
+    SMALL_SIM_SIZES,
+    GridSpec,
+    SweepResult,
+    SweepRunner,
+    fig6_grid,
+)
+
+__all__ = [
+    "CacheStats",
+    "StageCache",
+    "StageKey",
+    "PointResult",
+    "PointSpec",
+    "default_cache",
+    "reset_default_cache",
+    "run_point",
+    "GridSpec",
+    "SweepResult",
+    "SweepRunner",
+    "fig6_grid",
+    "SMALL_SIM_SIZES",
+]

@@ -1,0 +1,215 @@
+"""Two-level (memory + on-disk JSON) result cache for pipeline stages.
+
+The in-memory level stores live Python objects (circuits, machines,
+result dataclasses) so stage invocations sharing a prefix — the same
+frontend compilation across all seven braid policies, say — compute it
+once per process.  The on-disk level stores JSON payloads for stages
+whose results are pure metrics, so sweeps resume across processes and
+sessions and reports re-render without re-simulating.
+
+Cached artifacts are shared by reference: treat them as immutable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Iterator, Optional
+
+from .keys import StageKey
+
+__all__ = ["CacheStats", "StageCache", "CACHE_FORMAT_VERSION"]
+
+CACHE_FORMAT_VERSION = 1
+"""Bump to invalidate on-disk payloads when stage semantics change."""
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Per-stage hit/miss accounting.
+
+    Attributes:
+        hits: In-memory hits per stage.
+        disk_hits: On-disk hits per stage (loaded, not recomputed).
+        misses: Full computations per stage.
+    """
+
+    hits: dict[str, int] = dataclasses.field(default_factory=dict)
+    disk_hits: dict[str, int] = dataclasses.field(default_factory=dict)
+    misses: dict[str, int] = dataclasses.field(default_factory=dict)
+
+    def record_hit(self, stage: str) -> None:
+        self.hits[stage] = self.hits.get(stage, 0) + 1
+
+    def record_disk_hit(self, stage: str) -> None:
+        self.disk_hits[stage] = self.disk_hits.get(stage, 0) + 1
+
+    def record_miss(self, stage: str) -> None:
+        self.misses[stage] = self.misses.get(stage, 0) + 1
+
+    def merge(self, other: "CacheStats") -> None:
+        """Fold another process's counters into this one."""
+        for counter, theirs in (
+            (self.hits, other.hits),
+            (self.disk_hits, other.disk_hits),
+            (self.misses, other.misses),
+        ):
+            for stage, count in theirs.items():
+                counter[stage] = counter.get(stage, 0) + count
+
+    def computed(self, stage: str) -> int:
+        """How many times ``stage`` was actually executed."""
+        return self.misses.get(stage, 0)
+
+    def reused(self, stage: str) -> int:
+        """How many executions were avoided for ``stage``."""
+        return self.hits.get(stage, 0) + self.disk_hits.get(stage, 0)
+
+    def as_dict(self) -> dict[str, dict[str, int]]:
+        return {
+            "hits": dict(self.hits),
+            "disk_hits": dict(self.disk_hits),
+            "misses": dict(self.misses),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, dict[str, int]]) -> "CacheStats":
+        return cls(
+            hits=dict(payload.get("hits", {})),
+            disk_hits=dict(payload.get("disk_hits", {})),
+            misses=dict(payload.get("misses", {})),
+        )
+
+    def summary(self) -> str:
+        stages = sorted(
+            set(self.hits) | set(self.disk_hits) | set(self.misses)
+        )
+        parts = []
+        for stage in stages:
+            parts.append(
+                f"{stage}: {self.computed(stage)} computed, "
+                f"{self.reused(stage)} reused"
+            )
+        return "; ".join(parts) if parts else "empty"
+
+
+class StageCache:
+    """Memoizes stage invocations in memory and (optionally) on disk.
+
+    Args:
+        disk_dir: Directory for JSON payloads; None disables the disk
+            level.  Layout: ``<disk_dir>/<stage>/<digest>.json``.
+    """
+
+    def __init__(self, disk_dir: Optional[str | os.PathLike] = None):
+        self._memory: dict[StageKey, Any] = {}
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.stats = CacheStats()
+
+    def get_or_compute(
+        self,
+        key: StageKey,
+        compute: Callable[[], Any],
+        to_jsonable: Optional[Callable[[Any], Any]] = None,
+        from_jsonable: Optional[Callable[[Any], Any]] = None,
+    ) -> Any:
+        """Return the cached value for ``key``, computing on first use.
+
+        Args:
+            key: Stage invocation identity.
+            compute: Zero-argument closure producing the value.  Lazy:
+                only called on a miss, so upstream stages requested
+                inside it are skipped entirely on a hit.
+            to_jsonable: If given (with a disk level), persist the
+                computed value as JSON.
+            from_jsonable: If given (with a disk level), revive a value
+                from a persisted payload instead of recomputing.
+        """
+        if key in self._memory:
+            self.stats.record_hit(key.stage)
+            return self._memory[key]
+        if self.disk_dir is not None and from_jsonable is not None:
+            payload = self.load_payload(key)
+            if payload is not None:
+                value = from_jsonable(payload)
+                self._memory[key] = value
+                self.stats.record_disk_hit(key.stage)
+                return value
+        self.stats.record_miss(key.stage)
+        value = compute()
+        self._memory[key] = value
+        if self.disk_dir is not None and to_jsonable is not None:
+            self.store_payload(key, to_jsonable(value))
+        return value
+
+    def load_payload(self, key: StageKey) -> Optional[Any]:
+        """Read a persisted JSON payload, or None if absent/stale."""
+        if self.disk_dir is None:
+            return None
+        path = self._path(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if record.get("format") != CACHE_FORMAT_VERSION:
+            return None
+        return record.get("value")
+
+    def store_payload(self, key: StageKey, payload: Any) -> None:
+        """Atomically persist a JSON payload for ``key``."""
+        if self.disk_dir is None:
+            return
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "format": CACHE_FORMAT_VERSION,
+            "key": key.describe(),
+            "value": payload,
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, indent=1)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def iter_payloads(self, stage: str) -> Iterator[dict[str, Any]]:
+        """Yield all persisted records ({key, value}) for one stage."""
+        if self.disk_dir is None:
+            return
+        stage_dir = self.disk_dir / stage
+        if not stage_dir.is_dir():
+            return
+        for path in sorted(stage_dir.glob("*.json")):
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    record = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+            if record.get("format") == CACHE_FORMAT_VERSION:
+                yield record
+
+    def clear_memory(self) -> None:
+        """Drop live objects (disk payloads survive)."""
+        self._memory.clear()
+
+    def __contains__(self, key: StageKey) -> bool:
+        return key in self._memory
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _path(self, key: StageKey) -> Path:
+        assert self.disk_dir is not None
+        return self.disk_dir / key.stage / f"{key.digest}.json"

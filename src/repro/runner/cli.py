@@ -1,0 +1,360 @@
+"""``python -m repro``: run, sweep, and report from the command line.
+
+Subcommands:
+
+* ``run APP`` -- one grid point through the staged pipeline; prints the
+  result as JSON (and caches it if ``--cache-dir`` is given).
+* ``sweep`` -- a declarative grid (or the ``fig6`` preset) through the
+  :class:`~repro.runner.sweep.SweepRunner`, with shared-work dedup and
+  optional process parallelism; persists results as JSON.
+* ``report`` -- re-render Figures 6-9 and Tables 1-2 from cached
+  results (``--cache-dir``) or a saved sweep file (``--results``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import Optional, Sequence
+
+from .cache import StageCache
+from .stages import TECH_PRESETS, PointSpec, run_point
+from .sweep import (
+    DEFAULT_APPS,
+    SMALL_SIM_SIZES,
+    GridSpec,
+    SweepResult,
+    SweepRunner,
+    fig6_grid,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _validate_names(
+    apps: Sequence[str], policies: Sequence[int]
+) -> Optional[str]:
+    """Return an error message for unknown app/policy names, else None."""
+    from ..apps.registry import get_app
+    from ..network.policies import POLICIES
+
+    try:
+        for app in apps:
+            get_app(app)
+    except KeyError as error:
+        return str(error.args[0])
+    for policy in policies:
+        if policy not in POLICIES:
+            return (
+                f"unknown braid policy {policy!r}; "
+                f"available: {sorted(POLICIES)}"
+            )
+    return None
+
+
+def _parse_size(value: str, app: str) -> Optional[int]:
+    if value == "default":
+        return None
+    if value == "small":
+        # Resolve aliases ("ising", "SHA-1") to canonical registry names.
+        from ..apps.registry import get_app
+
+        return SMALL_SIM_SIZES[get_app(app).name]
+    return int(value)
+
+
+def _parse_policies(value: str) -> tuple[int, ...]:
+    """Parse ``"6"``, ``"0,3,6"``, or ``"0-6"`` into policy numbers."""
+    policies: list[int] = []
+    for part in value.split(","):
+        part = part.strip()
+        if "-" in part:
+            low, high = part.split("-", 1)
+            policies.extend(range(int(low), int(high) + 1))
+        else:
+            policies.append(int(part))
+    return tuple(dict.fromkeys(policies))
+
+
+def _add_point_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--tech",
+        default="intermediate",
+        choices=sorted(TECH_PRESETS),
+        help="technology preset",
+    )
+    parser.add_argument(
+        "--error-rate",
+        type=float,
+        default=None,
+        help="physical error rate overriding the preset",
+    )
+    parser.add_argument(
+        "--distance",
+        type=int,
+        default=None,
+        help="code distance override (default: derived from error budget)",
+    )
+    parser.add_argument(
+        "--regions", type=int, default=4, help="SIMD region count"
+    )
+    parser.add_argument(
+        "--inline-depth",
+        type=int,
+        default=None,
+        help="flattening depth (default: fully inlined)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=64,
+        help="EPR look-ahead window (logical cycles)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="on-disk JSON stage cache directory",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Staged, cached pipeline runner for the MICRO-50 surface-code "
+            "communication reproduction."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one grid point, print JSON")
+    run.add_argument("app", help="application (gse, sq, sha1, im)")
+    run.add_argument(
+        "--size",
+        default="default",
+        help='size knob: an integer, "small", or "default"',
+    )
+    run.add_argument(
+        "--policy", type=int, default=6, help="braid policy (0-6)"
+    )
+    _add_point_options(run)
+    run.add_argument("--out", default=None, help="also write JSON here")
+    run.add_argument(
+        "--compact", action="store_true", help="single-line JSON output"
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="run a grid sweep with dedup and parallelism"
+    )
+    sweep.add_argument(
+        "--preset",
+        choices=["fig6"],
+        default=None,
+        help="predefined grid (fig6: 4 apps x 7 policies, d=5)",
+    )
+    sweep.add_argument(
+        "--apps",
+        default=",".join(DEFAULT_APPS),
+        help="comma-separated application list",
+    )
+    sweep.add_argument(
+        "--size",
+        default="small",
+        help='size knob for every app: an integer, "small", or "default"',
+    )
+    sweep.add_argument(
+        "--policies", default="6", help='policies: "6", "0,3,6", or "0-6"'
+    )
+    _add_point_options(sweep)
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process count (1 = serial through one shared cache)",
+    )
+    sweep.add_argument(
+        "--out", default=None, help="write the sweep results JSON here"
+    )
+
+    report = sub.add_parser(
+        "report", help="re-render a figure/table from cached results"
+    )
+    report.add_argument(
+        "figure",
+        choices=["fig6", "fig7", "fig8", "fig9", "table1", "table2"],
+    )
+    report.add_argument(
+        "--cache-dir",
+        default=None,
+        help="stage cache to render from (and to fill as needed)",
+    )
+    report.add_argument(
+        "--results",
+        default=None,
+        help="saved sweep JSON to render from (fig6/table2)",
+    )
+    report.add_argument(
+        "--apps",
+        default=None,
+        help="comma-separated apps (fig8: default sq,im)",
+    )
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    error = _validate_names([args.app], [args.policy])
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    spec = PointSpec(
+        app=args.app,
+        size=_parse_size(args.size, args.app),
+        inline_depth=args.inline_depth,
+        policy=args.policy,
+        regions=args.regions,
+        tech_name=args.tech,
+        error_rate=args.error_rate,
+        distance=args.distance,
+        window=args.window,
+    )
+    cache = StageCache(args.cache_dir)
+    result = run_point(spec, cache)
+    payload = result.to_jsonable()
+    text = json.dumps(payload, indent=None if args.compact else 1)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    print(f"cache: {cache.stats.summary()}", file=sys.stderr)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    apps = tuple(a.strip() for a in args.apps.split(",") if a.strip())
+    policies = _parse_policies(args.policies)
+    error = _validate_names(apps, policies)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.preset == "fig6":
+        # The preset defines the grid *shape*; point-level options
+        # (--tech, --error-rate, --distance, ...) still apply.
+        ignored = [
+            flag
+            for flag, is_default in (
+                ("--apps", args.apps == ",".join(DEFAULT_APPS)),
+                ("--size", args.size == "small"),
+                ("--policies", args.policies == "6"),
+            )
+            if not is_default
+        ]
+        if ignored:
+            print(
+                "preset fig6 defines the grid shape; ignoring "
+                + ", ".join(ignored),
+                file=sys.stderr,
+            )
+        grid = fig6_grid()
+        grid = dataclasses.replace(
+            grid,
+            tech_name=args.tech,
+            error_rate=args.error_rate,
+            regions=args.regions,
+            inline_depths=(args.inline_depth,),
+            window=args.window,
+            distance=(
+                args.distance if args.distance is not None else grid.distance
+            ),
+        )
+    else:
+        grid = GridSpec(
+            apps=apps,
+            sizes={app: _parse_size(args.size, app) for app in apps}
+            if args.size != "default"
+            else None,
+            policies=policies,
+            inline_depths=(args.inline_depth,),
+            regions=args.regions,
+            tech_name=args.tech,
+            error_rate=args.error_rate,
+            distance=args.distance,
+            window=args.window,
+        )
+    runner = SweepRunner(cache_dir=args.cache_dir, workers=args.workers)
+    result = runner.run(grid)
+    print(
+        f"swept {len(result.points)} points in "
+        f"{result.elapsed_seconds:.2f}s with {result.workers} worker(s)",
+        file=sys.stderr,
+    )
+    print(f"cache: {result.stats.summary()}", file=sys.stderr)
+    if args.out:
+        result.save(args.out)
+        print(f"results written to {args.out}", file=sys.stderr)
+    else:
+        print(json.dumps(result.to_jsonable(), indent=1))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from . import report as renderers
+
+    cache = StageCache(args.cache_dir)
+    if args.figure in ("fig6", "table2"):
+        if args.results:
+            points = SweepResult.load(args.results).points
+        elif args.cache_dir:
+            points = renderers.load_points(cache)
+        else:
+            print(
+                f"{args.figure} needs --results or --cache-dir with "
+                "persisted sweep points",
+                file=sys.stderr,
+            )
+            return 2
+        render = (
+            renderers.render_fig6
+            if args.figure == "fig6"
+            else renderers.render_table2
+        )
+        try:
+            print(render(points))
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        return 0
+    if args.figure == "table1":
+        print(renderers.render_table1())
+        return 0
+    if args.figure == "fig7":
+        print(renderers.render_fig7(cache))
+        return 0
+    if args.figure == "fig8":
+        apps = (
+            tuple(a.strip() for a in args.apps.split(","))
+            if args.apps
+            else ("sq", "im")
+        )
+        error = _validate_names(apps, [])
+        if error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(renderers.render_fig8(cache, apps=apps))
+        return 0
+    print(renderers.render_fig9(cache))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        return _cmd_report(args)
+    except BrokenPipeError:
+        # Downstream reader (e.g. `| head`) closed stdout early.
+        return 0

@@ -1,0 +1,86 @@
+"""Stable, hashable identities for pipeline stage invocations.
+
+A :class:`StageKey` names one stage invocation by its stage name and a
+canonical rendering of its parameters.  Two invocations with equal
+parameters — built in the same process or different ones — produce
+equal keys and equal digests, which is what lets the sweep runner share
+work across grid points and resume from an on-disk cache.
+
+Canonicalization rules: mappings are sorted by key, sequences become
+lists, dataclasses (e.g. :class:`repro.tech.Technology`) become field
+dicts, and floats keep their exact ``repr`` via JSON.  Anything else is
+rejected loudly rather than keyed ambiguously.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Mapping, Sequence
+
+__all__ = ["StageKey", "canonicalize", "canonical_json"]
+
+
+def canonicalize(value: Any) -> Any:
+    """Reduce ``value`` to deterministic JSON-able primitives."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return canonicalize(dataclasses.asdict(value))
+    if isinstance(value, Mapping):
+        return {str(k): canonicalize(v) for k, v in sorted(value.items())}
+    if isinstance(value, (set, frozenset)):
+        return sorted(canonicalize(v) for v in value)
+    if isinstance(value, Sequence):
+        return [canonicalize(v) for v in value]
+    raise TypeError(
+        f"cannot canonicalize {type(value).__name__!r} for a stage key"
+    )
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON text for a canonicalizable value."""
+    return json.dumps(
+        canonicalize(value), sort_keys=True, separators=(",", ":")
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class StageKey:
+    """Identity of one stage invocation.
+
+    Attributes:
+        stage: Stage name (``frontend``, ``braid_sim``, ``point``, ...).
+        params: Sorted (name, canonical-JSON value) pairs.
+    """
+
+    stage: str
+    params: tuple[tuple[str, str], ...]
+
+    @classmethod
+    def make(cls, stage: str, **params: Any) -> "StageKey":
+        """Build a key from keyword parameters (order-insensitive)."""
+        items = tuple(
+            (name, canonical_json(value))
+            for name, value in sorted(params.items())
+        )
+        return cls(stage=stage, params=items)
+
+    @property
+    def digest(self) -> str:
+        """Content hash, stable across processes and sessions."""
+        payload = self.stage + "\n" + "\n".join(
+            f"{name}={value}" for name, value in self.params
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+    def describe(self) -> dict[str, Any]:
+        """Human-readable key contents (for cache file sidecars)."""
+        return {
+            "stage": self.stage,
+            "params": {name: json.loads(value) for name, value in self.params},
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"{self.stage}:{self.digest}"

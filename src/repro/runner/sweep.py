@@ -1,0 +1,276 @@
+"""Declarative grid sweeps with shared-work dedup and process fan-out.
+
+A :class:`GridSpec` expands into :class:`PointSpec` grid points (the
+cross product the paper's figures sweep: application x size x policy x
+technology).  :class:`SweepRunner` deduplicates identical points,
+groups the rest by their shared frontend compilation, and executes the
+groups either serially through one :class:`StageCache` (every shared
+prefix computed exactly once) or across a
+:class:`~concurrent.futures.ProcessPoolExecutor` (one worker per
+frontend group, so no frontend is ever compiled twice, in any mode).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from pathlib import Path
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+from ..apps.registry import SIM_SIZES
+from .cache import CacheStats, StageCache
+from .stages import PointResult, PointSpec, frontend_key, run_point
+
+__all__ = [
+    "GridSpec",
+    "SweepResult",
+    "SweepRunner",
+    "fig6_grid",
+    "SMALL_SIM_SIZES",
+]
+
+DEFAULT_APPS: tuple[str, ...] = ("gse", "sq", "sha1", "im")
+
+SMALL_SIM_SIZES: dict[str, int] = dict(SIM_SIZES)
+"""Per-app "small" instance sizes (a copy of the registry's
+:data:`~repro.apps.registry.SIM_SIZES`, shared with the calibration
+layer)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class GridSpec:
+    """A declarative sweep grid.
+
+    Attributes:
+        apps: Applications to sweep.
+        sizes: Per-app size knob; None uses each app's default size.
+        policies: Braid policies to sweep.
+        inline_depths: Flattening variants (None = fully inlined).
+        regions: SIMD region count.
+        tech_name: Technology preset.
+        error_rate: Explicit error rate overriding the preset.
+        distance: Code distance override for simulations.
+        window: EPR look-ahead window.
+    """
+
+    apps: tuple[str, ...] = DEFAULT_APPS
+    sizes: Optional[Mapping[str, int]] = None
+    policies: tuple[int, ...] = (6,)
+    inline_depths: tuple[Optional[int], ...] = (None,)
+    regions: int = 4
+    tech_name: str = "intermediate"
+    error_rate: Optional[float] = None
+    distance: Optional[int] = None
+    window: int = 64
+
+    def expand(self) -> list[PointSpec]:
+        """Cross product as normalized, deduplicated grid points."""
+        specs: list[PointSpec] = []
+        seen: set[str] = set()
+        for app in self.apps:
+            size = self.sizes.get(app) if self.sizes is not None else None
+            for inline_depth in self.inline_depths:
+                for policy in self.policies:
+                    spec = PointSpec(
+                        app=app,
+                        size=size,
+                        inline_depth=inline_depth,
+                        policy=policy,
+                        regions=self.regions,
+                        tech_name=self.tech_name,
+                        error_rate=self.error_rate,
+                        distance=self.distance,
+                        window=self.window,
+                    ).normalized()
+                    digest = spec.key().digest
+                    if digest not in seen:
+                        seen.add(digest)
+                        specs.append(spec)
+        return specs
+
+
+def fig6_grid(sizes: Optional[Mapping[str, int]] = None) -> GridSpec:
+    """The Figure 6 sweep: four applications x seven braid policies."""
+    return GridSpec(
+        apps=DEFAULT_APPS,
+        sizes=dict(sizes) if sizes is not None else dict(SMALL_SIM_SIZES),
+        policies=tuple(range(7)),
+        distance=5,
+    )
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """Outcome of one sweep.
+
+    Attributes:
+        points: One result per deduplicated grid point, in grid order.
+        stats: Cache hit/miss counters for this sweep (all workers).
+        elapsed_seconds: Wall-clock time of the sweep.
+        workers: Process count used (1 = in-process serial).
+    """
+
+    points: list[PointResult]
+    stats: CacheStats
+    elapsed_seconds: float
+    workers: int
+
+    def to_jsonable(self) -> dict:
+        return {
+            "points": [p.to_jsonable() for p in self.points],
+            "stats": self.stats.as_dict(),
+            "elapsed_seconds": self.elapsed_seconds,
+            "workers": self.workers,
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: dict) -> "SweepResult":
+        return cls(
+            points=[
+                PointResult.from_jsonable(p) for p in payload["points"]
+            ],
+            stats=CacheStats.from_dict(payload.get("stats", {})),
+            elapsed_seconds=payload.get("elapsed_seconds", 0.0),
+            workers=payload.get("workers", 1),
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        import json
+
+        Path(path).write_text(
+            json.dumps(self.to_jsonable(), indent=1), encoding="utf-8"
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SweepResult":
+        import json
+
+        return cls.from_jsonable(
+            json.loads(Path(path).read_text(encoding="utf-8"))
+        )
+
+
+def _run_group(
+    spec_payloads: list[dict], cache_dir: Optional[str]
+) -> dict:
+    """Worker entry point: run one frontend-sharing group of points."""
+    cache = StageCache(cache_dir)
+    points = [
+        run_point(PointSpec.from_jsonable(payload), cache).to_jsonable()
+        for payload in spec_payloads
+    ]
+    return {"points": points, "stats": cache.stats.as_dict()}
+
+
+class SweepRunner:
+    """Expands grids, dedups shared work, and executes stage jobs.
+
+    Args:
+        cache: Stage cache to run through (made fresh if omitted).
+        cache_dir: On-disk cache directory for the default cache; with
+            ``workers > 1`` this is also how workers persist results.
+        workers: Process count.  ``1`` (default) runs in-process and
+            shares every stage through one memory cache; ``> 1`` fans
+            frontend-sharing groups out to a process pool.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[StageCache] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+        workers: int = 1,
+    ):
+        if cache is None:
+            cache = StageCache(cache_dir)
+        self.cache = cache
+        self.workers = max(1, workers)
+
+    def run(
+        self, grid: Union[GridSpec, Iterable[PointSpec]]
+    ) -> SweepResult:
+        """Execute every grid point, computing shared prefixes once."""
+        if isinstance(grid, GridSpec):
+            specs = grid.expand()
+        else:
+            specs = _dedup(grid)
+        start = time.perf_counter()
+        before = CacheStats.from_dict(self.cache.stats.as_dict())
+        if self.workers == 1 or len(specs) <= 1:
+            points = [run_point(spec, self.cache) for spec in specs]
+            stats = _diff(self.cache.stats, before)
+            workers = 1
+        else:
+            points, stats = self._run_parallel(specs)
+            workers = self.workers
+        return SweepResult(
+            points=points,
+            stats=stats,
+            elapsed_seconds=time.perf_counter() - start,
+            workers=workers,
+        )
+
+    def _run_parallel(
+        self, specs: Sequence[PointSpec]
+    ) -> tuple[list[PointResult], CacheStats]:
+        """Fan frontend-sharing groups out to a process pool."""
+        groups: dict[str, list[PointSpec]] = {}
+        for spec in specs:
+            digest = frontend_key(
+                spec.app, spec.size, spec.inline_depth
+            ).digest
+            groups.setdefault(digest, []).append(spec)
+
+        cache_dir = (
+            str(self.cache.disk_dir)
+            if self.cache.disk_dir is not None
+            else None
+        )
+        stats = CacheStats()
+        by_digest: dict[str, PointResult] = {}
+        max_workers = min(self.workers, len(groups))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(
+                    _run_group,
+                    [spec.to_jsonable() for spec in group],
+                    cache_dir,
+                )
+                for group in groups.values()
+            ]
+            for future in as_completed(futures):
+                payload = future.result()
+                stats.merge(CacheStats.from_dict(payload["stats"]))
+                for point_payload in payload["points"]:
+                    point = PointResult.from_jsonable(point_payload)
+                    by_digest[point.spec.key().digest] = point
+        # Preserve grid order regardless of completion order.
+        return [by_digest[s.key().digest] for s in specs], stats
+
+
+def _dedup(specs: Iterable[PointSpec]) -> list[PointSpec]:
+    out: list[PointSpec] = []
+    seen: set[str] = set()
+    for spec in specs:
+        spec = spec.normalized()
+        digest = spec.key().digest
+        if digest not in seen:
+            seen.add(digest)
+            out.append(spec)
+    return out
+
+
+def _diff(after: CacheStats, before: CacheStats) -> CacheStats:
+    """Counters accumulated between two snapshots of the same cache."""
+    result = CacheStats()
+    for name in ("hits", "disk_hits", "misses"):
+        now, then, out = (
+            getattr(after, name),
+            getattr(before, name),
+            getattr(result, name),
+        )
+        for stage, count in now.items():
+            delta = count - then.get(stage, 0)
+            if delta:
+                out[stage] = delta
+    return result

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 from repro.frontend import alap_schedule, asap_schedule, list_schedule
 from repro.qasm import Circuit, CircuitDag
 
-from ..qasm.test_writer import circuits
+from ..qasm.conftest import circuits
 
 
 def diamond() -> Circuit:

@@ -1,0 +1,38 @@
+"""Shared graph builders/strategies for the partition test package.
+
+``two_cliques`` and ``random_graphs`` are also imported by the layout
+tests, so they live here rather than in any one test module.
+"""
+
+from hypothesis import strategies as st
+
+from repro.partition import InteractionGraph
+
+
+def two_cliques(k: int = 4, bridge_weight: float = 0.5) -> InteractionGraph:
+    """Two k-cliques joined by one weak edge: the canonical bisection."""
+    g = InteractionGraph()
+    for prefix in "ab":
+        members = [f"{prefix}{i}" for i in range(k)]
+        for i in range(k):
+            for j in range(i + 1, k):
+                g.add_edge(members[i], members[j], 2.0)
+    g.add_edge("a0", "b0", bridge_weight)
+    return g
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=16))
+    g = InteractionGraph()
+    for i in range(n):
+        g.add_node(f"n{i}")
+    num_edges = draw(st.integers(min_value=0, max_value=min(30, n * (n - 1) // 2)))
+    edges = set()
+    for _ in range(num_edges):
+        i = draw(st.integers(0, n - 1))
+        j = draw(st.integers(0, n - 1))
+        if i != j and (min(i, j), max(i, j)) not in edges:
+            edges.add((min(i, j), max(i, j)))
+            g.add_edge(f"n{i}", f"n{j}", draw(st.floats(0.5, 5.0)))
+    return g

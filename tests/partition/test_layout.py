@@ -14,7 +14,7 @@ from repro.partition import (
     weighted_manhattan_cost,
 )
 
-from .test_partition import random_graphs, two_cliques
+from .conftest import random_graphs, two_cliques
 
 
 class TestGridShape:

@@ -5,7 +5,7 @@ from hypothesis import given, settings
 
 from repro.qasm import Circuit, CircuitDag
 
-from .test_writer import circuits
+from .conftest import circuits
 
 
 def chain(n: int) -> Circuit:

@@ -7,36 +7,7 @@ from hypothesis import strategies as st
 from repro.qasm import Circuit, Operation, parse_qasm
 from repro.qasm.writer import write_flat_qasm, write_openqasm2
 
-SINGLE_QUBIT_GATES = ["H", "X", "Y", "Z", "S", "SDG", "T", "TDG", "PREPZ", "MEASZ"]
-TWO_QUBIT_GATES = ["CNOT", "CZ", "SWAP"]
-
-
-@st.composite
-def circuits(draw) -> Circuit:
-    """Random well-formed circuits over a small qubit pool."""
-    num_qubits = draw(st.integers(min_value=1, max_value=6))
-    qubits = [f"q{i}" for i in range(num_qubits)]
-    circuit = Circuit("random", qubits=qubits)
-    num_ops = draw(st.integers(min_value=0, max_value=30))
-    for _ in range(num_ops):
-        if num_qubits >= 2 and draw(st.booleans()):
-            gate = draw(st.sampled_from(TWO_QUBIT_GATES))
-            pair = draw(st.permutations(qubits))[:2]
-            circuit.apply(gate, *pair)
-        elif draw(st.integers(0, 9)) == 0:
-            angle = draw(
-                st.floats(
-                    min_value=-10,
-                    max_value=10,
-                    allow_nan=False,
-                    allow_infinity=False,
-                )
-            )
-            circuit.apply("RZ", draw(st.sampled_from(qubits)), param=angle)
-        else:
-            gate = draw(st.sampled_from(SINGLE_QUBIT_GATES))
-            circuit.apply(gate, draw(st.sampled_from(qubits)))
-    return circuit
+from .conftest import circuits
 
 
 class TestFlatRoundTrip:

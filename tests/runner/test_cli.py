@@ -1,0 +1,116 @@
+"""CLI smoke tests: ``python -m repro run/sweep/report``."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.runner.cli import _parse_policies, _parse_size
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _repro(*args: str, timeout: int = 300) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+
+
+class TestArgParsing:
+    def test_parse_policies(self):
+        assert _parse_policies("6") == (6,)
+        assert _parse_policies("0,3,6") == (0, 3, 6)
+        assert _parse_policies("0-3") == (0, 1, 2, 3)
+        assert _parse_policies("0-2,6,6") == (0, 1, 2, 6)
+
+    def test_parse_size(self):
+        assert _parse_size("default", "sq") is None
+        assert _parse_size("small", "sq") == 3
+        assert _parse_size("7", "sq") == 7
+
+
+@pytest.mark.slow
+class TestCliSmoke:
+    def test_run_produces_valid_json(self, tmp_path):
+        out = tmp_path / "point.json"
+        proc = _repro(
+            "run",
+            "sha1",
+            "--size",
+            "small",
+            "--distance",
+            "5",
+            "--out",
+            str(out),
+        )
+        assert proc.returncode == 0, proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["spec"]["app"] == "sha1"
+        assert payload["spec"]["size"] == 4
+        assert payload["distance"] == 5
+        assert payload["braid"]["schedule_length"] > 0
+        assert payload["derived"]["preferred_code"] in (
+            "planar",
+            "double-defect",
+        )
+        assert json.loads(out.read_text()) == payload
+
+    def test_sweep_then_report_round_trip(self, tmp_path):
+        results = tmp_path / "sweep.json"
+        cache_dir = tmp_path / "cache"
+        proc = _repro(
+            "sweep",
+            "--apps",
+            "sq",
+            "--size",
+            "2",
+            "--policies",
+            "0,6",
+            "--distance",
+            "3",
+            "--cache-dir",
+            str(cache_dir),
+            "--out",
+            str(results),
+        )
+        assert proc.returncode == 0, proc.stderr
+        payload = json.loads(results.read_text())
+        assert len(payload["points"]) == 2
+        assert payload["stats"]["misses"]["frontend"] == 1
+
+        # Re-render Figure 6 from the saved results file...
+        report = _repro("report", "fig6", "--results", str(results))
+        assert report.returncode == 0, report.stderr
+        assert "sq" in report.stdout and "Sched/CP" in report.stdout
+
+        # ... and from the on-disk stage cache.
+        from_cache = _repro("report", "fig6", "--cache-dir", str(cache_dir))
+        assert from_cache.returncode == 0, from_cache.stderr
+        assert "sq" in from_cache.stdout
+
+        table2 = _repro("report", "table2", "--results", str(results))
+        assert table2.returncode == 0, table2.stderr
+        assert "Square Root" in table2.stdout
+
+    def test_report_table1(self):
+        proc = _repro("report", "table1")
+        assert proc.returncode == 0, proc.stderr
+        assert "Teleportation" in proc.stdout
+        assert "Braiding" in proc.stdout
+
+    def test_report_fig6_without_source_fails_cleanly(self):
+        proc = _repro("report", "fig6")
+        assert proc.returncode == 2
+        assert "needs --results or --cache-dir" in proc.stderr

@@ -1,0 +1,102 @@
+"""StageKey identity: canonicalization, stability across processes."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.runner.keys import StageKey, canonical_json, canonicalize
+from repro.tech import INTERMEDIATE
+
+
+class TestCanonicalize:
+    def test_primitives_pass_through(self):
+        for value in (None, True, 3, 2.5, "x"):
+            assert canonicalize(value) == value
+
+    def test_mappings_sorted(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_sequences_become_lists(self):
+        assert canonicalize((1, 2)) == [1, 2]
+        assert canonicalize([1, (2, 3)]) == [1, [2, 3]]
+
+    def test_sets_sorted(self):
+        assert canonicalize({3, 1, 2}) == [1, 2, 3]
+
+    def test_dataclasses_become_field_dicts(self):
+        payload = canonicalize(INTERMEDIATE)
+        assert payload["physical_error_rate"] == 1e-5
+        assert payload["name"] == "superconducting-mid"
+
+    def test_unknown_types_rejected(self):
+        with pytest.raises(TypeError, match="canonicalize"):
+            canonicalize(object())
+
+
+class TestStageKey:
+    def test_param_order_insensitive(self):
+        a = StageKey.make("frontend", app="sq", size=3)
+        b = StageKey.make("frontend", size=3, app="sq")
+        assert a == b
+        assert a.digest == b.digest
+
+    def test_different_params_differ(self):
+        a = StageKey.make("frontend", app="sq", size=3)
+        b = StageKey.make("frontend", app="sq", size=4)
+        assert a != b
+        assert a.digest != b.digest
+
+    def test_stage_name_in_digest(self):
+        a = StageKey.make("frontend", app="sq")
+        b = StageKey.make("layout", app="sq")
+        assert a.digest != b.digest
+
+    def test_usable_as_dict_key(self):
+        table = {StageKey.make("frontend", app="sq", size=3): 1}
+        assert table[StageKey.make("frontend", size=3, app="sq")] == 1
+
+    def test_describe_round_trips_params(self):
+        key = StageKey.make("braid_sim", app="sq", policy=6, tech=INTERMEDIATE)
+        described = key.describe()
+        assert described["stage"] == "braid_sim"
+        assert described["params"]["policy"] == 6
+        assert described["params"]["tech"]["physical_error_rate"] == 1e-5
+
+    def test_digest_stable_across_processes(self):
+        """Hash randomization must not leak into digests (the on-disk
+        cache is shared by pool workers and later sessions)."""
+        key = StageKey.make(
+            "braid_sim", app="sq", size=3, policy=6, tech=INTERMEDIATE
+        )
+        script = (
+            "from repro.runner.keys import StageKey\n"
+            "from repro.tech import INTERMEDIATE\n"
+            "key = StageKey.make('braid_sim', app='sq', size=3, policy=6,"
+            " tech=INTERMEDIATE)\n"
+            "print(key.digest)"
+        )
+        digests = set()
+        for seed in ("0", "42"):
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+                env=_env_with_seed(seed),
+            )
+            digests.add(out.stdout.strip())
+        digests.add(key.digest)
+        assert digests == {key.digest}
+
+
+def _env_with_seed(seed: str) -> dict:
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    return env

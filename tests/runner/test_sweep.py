@@ -1,0 +1,172 @@
+"""Sweep semantics: grid expansion, dedup, shared-prefix stage reuse,
+process-pool equivalence, and disk-cache resume."""
+
+import pytest
+
+from repro.runner import (
+    GridSpec,
+    PointSpec,
+    StageCache,
+    SweepResult,
+    SweepRunner,
+    fig6_grid,
+    run_point,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+# Tiny instances keep every simulation in the milliseconds range.
+TINY = GridSpec(
+    apps=("sq", "gse"),
+    sizes={"sq": 2, "gse": 3},
+    policies=(0, 6),
+    distance=3,
+)
+
+
+class TestGridExpansion:
+    def test_cross_product(self):
+        specs = TINY.expand()
+        assert len(specs) == 4
+        assert {(s.app, s.policy) for s in specs} == {
+            ("sq", 0),
+            ("sq", 6),
+            ("gse", 0),
+            ("gse", 6),
+        }
+
+    def test_normalization_resolves_sizes(self):
+        specs = GridSpec(apps=("sha1",), policies=(6,)).expand()
+        assert specs[0].size == 8  # sha1's default size
+
+    def test_identical_points_deduplicated(self):
+        # "sha" aliases "sha1", so the grid collapses to one app.
+        specs = GridSpec(
+            apps=("sha1", "sha"), sizes=None, policies=(6,)
+        ).expand()
+        assert len(specs) == 1
+
+    def test_fig6_grid_shape(self):
+        specs = fig6_grid().expand()
+        assert len(specs) == 28  # 4 apps x 7 policies
+        assert all(s.distance == 5 for s in specs)
+
+    def test_point_list_dedup(self):
+        runner = SweepRunner()
+        result = runner.run(
+            [
+                PointSpec(app="sq", size=2, policy=6, distance=3),
+                PointSpec(app="sq", size=2, policy=6, distance=3),
+            ]
+        )
+        assert len(result.points) == 1
+
+
+class TestSharedPrefixReuse:
+    def test_frontend_compiled_exactly_once_per_app(self):
+        result = SweepRunner().run(TINY)
+        stats = result.stats
+        assert stats.computed("frontend") == 2, stats.as_dict()
+        assert stats.computed("braid_sim") == 4
+        # EPR pipeline is policy-independent: once per app.
+        assert stats.computed("simd_epr") == 2
+        assert stats.reused("frontend") > 0
+
+    def test_second_run_all_hits(self):
+        runner = SweepRunner()
+        runner.run(TINY)
+        again = runner.run(TINY)
+        assert again.stats.computed("point") == 0
+        assert again.stats.reused("point") == 4
+        assert again.stats.computed("frontend") == 0
+
+
+class TestDiskResume:
+    def test_cold_then_warm(self, tmp_path):
+        cold = SweepRunner(cache_dir=tmp_path).run(TINY)
+        assert cold.stats.computed("point") == 4
+        warm = SweepRunner(cache_dir=tmp_path).run(TINY)
+        assert warm.stats.computed("point") == 0
+        assert warm.stats.disk_hits["point"] == 4
+        assert [p.to_jsonable() for p in warm.points] == [
+            p.to_jsonable() for p in cold.points
+        ]
+
+    def test_save_load_round_trip(self, tmp_path):
+        result = SweepRunner().run(TINY)
+        path = tmp_path / "sweep.json"
+        result.save(path)
+        loaded = SweepResult.load(path)
+        assert [p.to_jsonable() for p in loaded.points] == [
+            p.to_jsonable() for p in result.points
+        ]
+        assert loaded.stats.as_dict() == result.stats.as_dict()
+
+
+class TestParallel:
+    def test_matches_serial(self, tmp_path):
+        serial = SweepRunner().run(TINY)
+        parallel = SweepRunner(
+            cache_dir=tmp_path / "cache", workers=2
+        ).run(TINY)
+        assert parallel.workers == 2
+        assert [p.to_jsonable() for p in parallel.points] == [
+            p.to_jsonable() for p in serial.points
+        ]
+        # Grouping by frontend key: each app compiled exactly once
+        # across the whole pool.
+        assert parallel.stats.computed("frontend") == 2
+
+    def test_single_point_stays_serial(self):
+        result = SweepRunner(workers=4).run(
+            [PointSpec(app="sq", size=2, policy=6, distance=3)]
+        )
+        assert result.workers == 1
+        assert len(result.points) == 1
+
+
+class TestPointSemantics:
+    def test_distance_derived_when_unset(self):
+        point = run_point(PointSpec(app="sq", size=2), StageCache())
+        assert point.distance >= 3
+        assert point.spec.distance is None
+
+    def test_distance_override_respected(self):
+        point = run_point(
+            PointSpec(app="sq", size=2, distance=3), StageCache()
+        )
+        assert point.distance == 3
+
+    def test_matches_toolflow(self):
+        """run_point must agree with the reference run_toolflow."""
+        from repro.core import run_toolflow
+        from repro.tech import INTERMEDIATE
+
+        flow = run_toolflow(
+            "sq", size=2, tech=INTERMEDIATE, policy=6, cache=StageCache()
+        )
+        point = run_point(
+            # run_toolflow always uses the interaction-aware layout.
+            PointSpec(app="sq", size=2, policy=6, optimize_layout=True),
+            StageCache(),
+        )
+        assert point.distance == flow.distance
+        assert point.braid == flow.braid_result
+        assert point.epr == flow.epr_result
+        assert point.planar == flow.planar_estimate
+        assert point.double_defect == flow.double_defect_estimate
+        assert point.preferred_code == flow.preferred_code
+
+    def test_toolflow_shares_default_cache(self):
+        from repro.core import run_toolflow
+        from repro.runner import reset_default_cache
+
+        cache = reset_default_cache()
+        try:
+            run_toolflow("sq", size=2, policy=6)
+            run_toolflow("sq", size=2, policy=1)
+            assert cache.stats.computed("frontend") == 1
+            assert cache.stats.computed("braid_sim") == 2
+            assert cache.stats.computed("simd_epr") == 1
+        finally:
+            reset_default_cache()
