@@ -57,20 +57,28 @@ _CACHE: dict[tuple[str, Optional[int], int, int], AppCalibration] = {}
 
 
 def _variant_scaling(
-    spec, inline_depth: int
+    spec, inline_depth: int, stage_cache: "StageCache"
 ) -> AppScalingModel:
-    """Variant-specific scaling: fit from two sizes of this variant."""
+    """Variant-specific scaling: fit from two sizes of this variant.
+
+    The calibration circuits compile through
+    :func:`repro.runner.stages.compute_frontend`, so a sweep that
+    already touched the same (app, size, inline_depth) frontends --
+    or a repeated calibration -- reuses them from the stage cache
+    instead of recompiling.
+    """
     import numpy as np
 
-    from ..frontend.decompose import decompose_circuit
-    from ..frontend.estimate import estimate_circuit
     from ..apps.scaling import CALIBRATION_SIZES, PowerLaw
+    from ..runner import stages
 
     sizes = CALIBRATION_SIZES[spec.name][-2:]
-    estimates = []
-    for s in sizes:
-        lowered = decompose_circuit(spec.circuit(s, inline_depth=inline_depth))
-        estimates.append(estimate_circuit(lowered))
+    estimates = [
+        stages.compute_frontend(
+            stage_cache, spec.name, s, inline_depth
+        ).logical
+        for s in sizes
+    ]
     ops = [e.total_operations for e in estimates]
     return AppScalingModel(
         app_name=f"{spec.name}-inline{inline_depth}",
@@ -135,7 +143,7 @@ def calibrate_app(
     if inline_depth is None:
         scaling = calibrate(spec.name)
     else:
-        scaling = _variant_scaling(spec, inline_depth)
+        scaling = _variant_scaling(spec, inline_depth, stage_cache)
 
     braid = stages.compute_braid(
         stage_cache,

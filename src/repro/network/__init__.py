@@ -1,5 +1,9 @@
 """Communication substrate: braid mesh simulation and EPR pipelining."""
 
+from ._braidsim_reference import (
+    ReferenceBraidSimulator,
+    simulate_braids_reference,
+)
 from .braidsim import (
     BraidSimConfig,
     BraidSimResult,
@@ -16,7 +20,13 @@ from .epr import (
 from .events import BraidSegment, OpTask, build_tasks
 from .mesh import BraidMesh, manhattan, path_links
 from .policies import ALL_POLICIES, POLICIES, Policy
-from .routing import alternative_paths, dor_path, find_free_path
+from .routing import (
+    RouteTable,
+    alternative_paths,
+    dor_path,
+    find_free_path,
+    route_table,
+)
 from .teleport import DEFAULT_TELEPORT_MODEL, TeleportModel
 
 __all__ = [
@@ -36,6 +46,10 @@ __all__ = [
     "BraidSimResult",
     "BraidSimulator",
     "simulate_braids",
+    "ReferenceBraidSimulator",
+    "simulate_braids_reference",
+    "RouteTable",
+    "route_table",
     "TeleportModel",
     "DEFAULT_TELEPORT_MODEL",
     "EprDemand",

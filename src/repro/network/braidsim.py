@@ -14,6 +14,23 @@ semantics: opens and closes issued at the same timestamp are ordered by
 the active policy, and an open attempted before a same-cycle close sees
 the link as busy (which is exactly what close-first prioritization
 exploits).
+
+The inner loop runs on flat data structures:
+
+* heap entries are single ints (``time << 34 | seq``) with a side list
+  mapping ``seq`` to the event's kind and operation;
+* link occupancy is the mesh's bitmask core, so a route is free iff
+  ``route_mask & occupied == 0`` and claims/releases are big-int OR/AND;
+* routes come precomputed from a shared :class:`~.routing.RouteTable`;
+* per-op criticality and route-length keys are fetched into arrays once
+  instead of rebuilding closures inside the issue fixpoint;
+* a blocked open records the mesh *epoch* (release counter) at which its
+  route search failed and skips the search entirely until a link is
+  released or adaptivity widens its candidate set.
+
+Results are bit-identical to the seed event loop, which is preserved in
+:mod:`repro.network._braidsim_reference` and enforced by the golden
+equivalence tests.
 """
 
 from __future__ import annotations
@@ -21,7 +38,6 @@ from __future__ import annotations
 import dataclasses
 import heapq
 import itertools
-from enum import Enum
 from typing import Optional
 
 from ..partition.layout import Placement
@@ -31,7 +47,7 @@ from ..qec.codes import DOUBLE_DEFECT, SurfaceCode
 from .events import OpTask, build_tasks
 from .mesh import BraidMesh, Router
 from .policies import POLICIES, Policy
-from .routing import find_free_path
+from .routing import route_table
 
 __all__ = ["BraidSimConfig", "BraidSimResult", "BraidSimulator", "simulate_braids"]
 
@@ -92,12 +108,15 @@ class BraidSimResult:
         return self.schedule_length / self.critical_path
 
 
-class _Phase(Enum):
-    WAITING = "waiting"      # dependencies not met
-    READY = "ready"          # next segment wants to open
-    HOLDING = "holding"      # route claimed, stabilizing
-    CLOSING = "closing"      # hold expired, close event pending
-    DONE = "done"
+# Phase codes (int-valued for flat array storage).
+_WAITING, _READY, _HOLDING, _CLOSING, _DONE = range(5)
+
+# Event kinds, packed into the low bits of the per-seq meta entry.
+_EXPIRY, _LOCAL, _WAKE = range(3)
+
+_SEQ_BITS = 34
+_SEQ_LIMIT = 1 << _SEQ_BITS
+_SEQ_MASK = _SEQ_LIMIT - 1
 
 
 class BraidSimulator:
@@ -129,21 +148,25 @@ class BraidSimulator:
             circuit, placement, mesh, code, distance, factory_routers
         )
         self.num_ops = len(self.tasks)
+        n = self.num_ops
 
-        self._phase = [_Phase.WAITING] * self.num_ops
-        self._segment_index = [0] * self.num_ops
-        self._remaining_preds = [
-            self.dag.in_degree(i) for i in range(self.num_ops)
-        ]
-        self._wait_start = [0] * self.num_ops
-        self._arrival = [0] * self.num_ops
+        self._phase = [_WAITING] * n
+        self._segment_index = [0] * n
+        self._remaining_preds = [self.dag.in_degree(i) for i in range(n)]
+        self._successors = [self.dag.successors(i) for i in range(n)]
+        self._wait_start = [0] * n
+        self._arrival = [0] * n
         self._arrival_counter = itertools.count()
         self._ready_opens: set[int] = set()
         self._closing: list[int] = []
-        # Event heap entries: (time, tiebreak, kind, op) with kinds
-        # "expiry", "local", "wake".
-        self._events: list[tuple[int, int, str, int]] = []
-        self._event_counter = itertools.count()
+        # Event heap entries: time << 34 | seq, with the event's kind
+        # and op packed into _event_meta[seq].  Ordering is (time, seq),
+        # exactly the seed's (time, tiebreak) tuple order.  Meta entries
+        # are popped with their events, so memory tracks outstanding
+        # events, not every event ever scheduled.
+        self._events: list[int] = []
+        self._event_meta: dict[int, int] = {}
+        self._event_seq = 0
         self._completion_time = 0
         self._busy_integral = 0
         self._last_time = 0
@@ -152,28 +175,64 @@ class BraidSimulator:
         self._drops = 0
         self._p0_head = 0  # policy-0 program-order cursor
 
+        # Flat per-op scheduling keys, fetched once.  Criticality is
+        # only materialized for policies that rank by it (the DAG's
+        # lazy descendant counts are shared across simulations).
+        self._is_braid = [task.is_braid for task in self.tasks]
+        self._route_length = [
+            task.route_length if task.is_braid else 0 for task in self.tasks
+        ]
+        if policy.use_criticality or policy.combined_length_rule:
+            self._criticality = [self.dag.criticality(i) for i in range(n)]
+        else:
+            self._criticality = []
+
+        # Per-op, per-segment route handles: (src, dst, hold, min_len,
+        # dor_path, dor_mask), resolved through the shared route table.
+        routes = route_table(mesh.rows, mesh.cols, self.config.max_detour)
+        self._routes = routes
+        self._segments: list[tuple] = []
+        for task in self.tasks:
+            infos = []
+            for seg in task.segments:
+                dor_path, dor_mask = routes.dor(seg.src, seg.dst)
+                infos.append(
+                    (seg.src, seg.dst, seg.hold, seg.min_length,
+                     dor_path, dor_mask)
+                )
+            self._segments.append(tuple(infos))
+
+        # Blocked-open memo: the mesh epoch at which this op's last
+        # route search failed, and whether that search was adaptive.
+        self._fail_epoch = [-1] * n
+        self._fail_adaptive = [False] * n
+
     # -- public API ---------------------------------------------------------
 
     def run(self) -> BraidSimResult:
         for op in self.dag.sources():
             self._make_ready(op, time=0)
-        self._schedule_wake(0)
-        time = 0
-        while self._events:
-            time, _, kind, op = heapq.heappop(self._events)
-            if time > self.config.max_cycles:
+        self._schedule_event(0, _WAKE, -1)
+        events = self._events
+        meta = self._event_meta
+        max_cycles = self.config.max_cycles
+        heappop = heapq.heappop
+        while events:
+            entry = heappop(events)
+            time = entry >> _SEQ_BITS
+            if time > max_cycles:
                 raise RuntimeError(
-                    f"braid simulation exceeded {self.config.max_cycles} "
+                    f"braid simulation exceeded {max_cycles} "
                     "cycles; likely livelock"
                 )
             self._integrate_busy(time)
-            batch = [(kind, op)]
-            while self._events and self._events[0][0] == time:
-                _, _, k2, o2 = heapq.heappop(self._events)
-                batch.append((k2, o2))
+            batch = [meta.pop(entry & _SEQ_MASK)]
+            while events and events[0] >> _SEQ_BITS == time:
+                batch.append(meta.pop(heappop(events) & _SEQ_MASK))
             self._process_timestep(time, batch)
+        phase = self._phase
         unfinished = [
-            i for i in range(self.num_ops) if self._phase[i] is not _Phase.DONE
+            i for i in range(self.num_ops) if phase[i] != _DONE
         ]
         if unfinished:
             raise RuntimeError(
@@ -213,96 +272,130 @@ class BraidSimulator:
             )
             self._last_time = now
 
-    def _schedule_wake(self, time: int) -> None:
-        heapq.heappush(
-            self._events, (time, next(self._event_counter), "wake", -1)
-        )
-
-    def _schedule_event(self, time: int, kind: str, op: int) -> None:
-        heapq.heappush(
-            self._events, (time, next(self._event_counter), kind, op)
-        )
+    def _schedule_event(self, time: int, kind: int, op: int) -> None:
+        seq = self._event_seq
+        if seq >= _SEQ_LIMIT:
+            raise RuntimeError("braid simulation event counter overflow")
+        self._event_seq = seq + 1
+        self._event_meta[seq] = ((op + 1) << 2) | kind
+        heapq.heappush(self._events, (time << _SEQ_BITS) | seq)
 
     def _make_ready(self, op: int, time: int) -> None:
-        task = self.tasks[op]
-        if task.is_braid:
-            self._phase[op] = _Phase.READY
+        if self._is_braid[op]:
+            self._phase[op] = _READY
             self._wait_start[op] = time
             self._arrival[op] = next(self._arrival_counter)
             self._ready_opens.add(op)
         else:
             # Local op: runs unconditionally for its duration.
-            self._phase[op] = _Phase.HOLDING
-            self._schedule_event(time + task.local_cycles, "local", op)
+            self._phase[op] = _HOLDING
+            self._schedule_event(
+                time + self.tasks[op].local_cycles, _LOCAL, op
+            )
 
     def _complete(self, op: int, time: int) -> None:
-        self._phase[op] = _Phase.DONE
-        self._completion_time = max(self._completion_time, time)
-        for succ in self.dag.successors(op):
-            self._remaining_preds[succ] -= 1
-            if self._remaining_preds[succ] == 0:
+        self._phase[op] = _DONE
+        if time > self._completion_time:
+            self._completion_time = time
+        remaining = self._remaining_preds
+        for succ in self._successors[op]:
+            remaining[succ] -= 1
+            if remaining[succ] == 0:
                 self._make_ready(succ, time)
 
-    def _process_timestep(
-        self, time: int, batch: list[tuple[str, int]]
-    ) -> None:
-        for kind, op in batch:
-            if kind == "local":
-                self._complete(op, time)
-            elif kind == "expiry":
-                if self._phase[op] is _Phase.HOLDING:
-                    self._phase[op] = _Phase.CLOSING
+    def _process_timestep(self, time: int, batch: list[int]) -> None:
+        phase = self._phase
+        for packed in batch:
+            kind = packed & 3
+            if kind == _LOCAL:
+                self._complete((packed >> 2) - 1, time)
+            elif kind == _EXPIRY:
+                op = (packed >> 2) - 1
+                if phase[op] == _HOLDING:
+                    phase[op] = _CLOSING
                     self._closing.append(op)
-            # "wake" entries only force a timestep.
+            # _WAKE entries only force a timestep.
         self._issue_events(time)
 
     def _eligible_opens(self) -> list[int]:
         if self.policy.interleave:
             return list(self._ready_opens)
         # Policy 0: the lowest-index incomplete braid op proceeds alone.
-        while self._p0_head < self.num_ops and (
-            not self.tasks[self._p0_head].is_braid
-            or self._phase[self._p0_head] is _Phase.DONE
-        ):
-            self._p0_head += 1
         head = self._p0_head
+        is_braid = self._is_braid
+        phase = self._phase
+        while head < self.num_ops and (
+            not is_braid[head] or phase[head] == _DONE
+        ):
+            head += 1
+        self._p0_head = head
         if head < self.num_ops and head in self._ready_opens:
             return [head]
         return []
+
+    def _sort_opens(self, opens: list[int]) -> list[int]:
+        """Policy open order for close-first issue sequences.
+
+        Matches ``Policy.open_sort_key`` exactly: every key ends in the
+        unique FIFO arrival stamp, so the sort is total and reduces to
+        plain tuple sorts over prefetched arrays.
+        """
+        policy = self.policy
+        arrival = self._arrival
+        if policy.combined_length_rule:
+            crit = self._criticality
+            length = self._route_length
+            values = sorted((crit[op] for op in opens), reverse=True)
+            # "Highest criticality" = top half of the ready set (the
+            # boundary value of the upper half, so ties stay together).
+            threshold = values[(len(values) - 1) // 2] if values else 0
+            decorated = []
+            for op in opens:
+                c = crit[op]
+                key_len = length[op] if c >= threshold else -length[op]
+                decorated.append((-c, key_len, arrival[op], op))
+            decorated.sort()
+            return [entry[3] for entry in decorated]
+        if policy.use_criticality:
+            crit = self._criticality
+            decorated = [(-crit[op], arrival[op], op) for op in opens]
+            decorated.sort()
+            return [entry[2] for entry in decorated]
+        if policy.use_length:
+            length = self._route_length
+            decorated = [(-length[op], arrival[op], op) for op in opens]
+            decorated.sort()
+            return [entry[2] for entry in decorated]
+        opens.sort(key=arrival.__getitem__)
+        return opens
 
     def _issue_events(self, time: int) -> None:
         # Fixpoint within the timestep: closes can complete operations,
         # whose successors become ready and may open in the same cycle
         # (the greedy "place as many braids as possible" rule).
+        closes_first = self.policy.closes_first
         any_release_with_blocked = False
         while True:
             closes = sorted(self._closing)
             self._closing = []
             opens = self._eligible_opens()
-            key = self.policy.open_sort_key(
-                criticality=self.dag.criticality,
-                route_length=lambda op: self.tasks[op].route_length,
-                arrival=lambda op: self._arrival[op],
-                ready_criticalities=[self.dag.criticality(o) for o in opens],
-            )
-            opens.sort(key=key)
-            if self.policy.closes_first:
-                sequence: list[tuple[str, int]] = [
-                    ("close", o) for o in closes
-                ]
-                sequence += [("open", o) for o in opens]
+            if closes_first:
+                # Closes in index order, then opens in policy order.
+                sequence = [(op, True) for op in closes]
+                sequence += [(op, False) for op in self._sort_opens(opens)]
             else:
                 # Unprioritized: events interleave by program order.
+                # (The policy's open ordering collapses to op index
+                # here, exactly as the seed's merged sort did.)
                 sequence = sorted(
-                    [("close", o) for o in closes]
-                    + [("open", o) for o in opens],
-                    key=lambda item: item[1],
+                    [(op, True) for op in closes]
+                    + [(op, False) for op in opens]
                 )
             progress = False
             released_any = False
             blocked_any = False
-            for kind, op in sequence:
-                if kind == "close":
+            for op, is_close in sequence:
+                if is_close:
                     self._close_segment(op, time)
                     released_any = True
                     progress = True
@@ -315,32 +408,56 @@ class BraidSimulator:
                 break
         if any_release_with_blocked and self._ready_opens:
             # Links freed this cycle; blocked opens retry next cycle.
-            self._schedule_wake(time + 1)
+            self._schedule_event(time + 1, _WAKE, -1)
 
     def _close_segment(self, op: int, time: int) -> None:
         self.mesh.release(op)
         self._segment_index[op] += 1
-        if self._segment_index[op] >= len(self.tasks[op].segments):
+        if self._segment_index[op] >= len(self._segments[op]):
             self._complete(op, time)
         else:
-            self._phase[op] = _Phase.READY
+            self._phase[op] = _READY
             self._wait_start[op] = time
             self._arrival[op] = next(self._arrival_counter)
             self._ready_opens.add(op)
 
     def _try_open(self, op: int, time: int) -> bool:
-        segment = self.tasks[op].segments[self._segment_index[op]]
+        config = self.config
+        mesh = self.mesh
         waited = time - self._wait_start[op]
-        adaptive = waited >= self.config.adaptive_timeout
-        path = find_free_path(
-            self.mesh,
-            segment.src,
-            segment.dst,
-            adaptive=adaptive,
-            max_detour=self.config.max_detour,
-        )
+        adaptive = waited >= config.adaptive_timeout
+        path = None
+        mask = 0
+        # Epoch early-out: a search that failed at this mesh epoch with
+        # the same (or a wider) candidate set must fail again -- claims
+        # since then only shrank the free set.
+        if self._fail_epoch[op] == mesh.epoch and (
+            self._fail_adaptive[op] or not adaptive
+        ):
+            pass
+        else:
+            src, dst, hold, min_len, dor_path, dor_mask = self._segments[
+                op
+            ][self._segment_index[op]]
+            occupied = mesh.occupied_mask
+            if dor_mask & occupied == 0:
+                path, mask = dor_path, dor_mask
+            elif adaptive:
+                for cand_path, cand_mask in self._routes.alternatives(
+                    src, dst
+                ):
+                    if cand_mask & occupied == 0:
+                        path, mask = cand_path, cand_mask
+                        break
         if path is None:
-            if waited >= self.config.drop_timeout:
+            if self._fail_epoch[op] == mesh.epoch:
+                # Keep an adaptive failure sticky within the epoch: a
+                # post-drop non-adaptive miss must not narrow the memo.
+                self._fail_adaptive[op] |= adaptive
+            else:
+                self._fail_epoch[op] = mesh.epoch
+                self._fail_adaptive[op] = adaptive
+            if waited >= config.drop_timeout:
                 # Drop and re-inject at the back of the ready queue.
                 self._drops += 1
                 self._wait_start[op] = time
@@ -348,18 +465,22 @@ class BraidSimulator:
             if not adaptive:
                 # Make sure the op is retried once adaptivity unlocks,
                 # even if no braid closes in the meantime.
-                self._schedule_wake(
-                    self._wait_start[op] + self.config.adaptive_timeout
+                self._schedule_event(
+                    self._wait_start[op] + config.adaptive_timeout,
+                    _WAKE,
+                    -1,
                 )
             return False
-        if adaptive and len(path) - 1 > segment.min_length:
+        # A found path implies the search branch ran, so the segment
+        # fields (hold, min_len) are bound.
+        if adaptive and len(path) - 1 > min_len:
             self._adaptive += 1
-        self.mesh.claim(path, op)
+        mesh.claim_mask(mask, op)
         self._ready_opens.discard(op)
-        self._phase[op] = _Phase.HOLDING
+        self._phase[op] = _HOLDING
         self._braids += 1
         # Open takes this cycle; stabilize for `hold`; then close.
-        self._schedule_event(time + 1 + segment.hold, "expiry", op)
+        self._schedule_event(time + 1 + hold, _EXPIRY, op)
         return True
 
 

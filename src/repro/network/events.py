@@ -77,13 +77,26 @@ class OpTask:
 
 
 def _nearest_factory(
-    mesh: BraidMesh, factories: tuple[Router, ...], target: Router
+    factories: tuple[Router, ...], target: Router
 ) -> Router:
     if not factories:
         raise ValueError("T operation requires at least one factory site")
     return min(
         factories, key=lambda f: (manhattan(f, target), f)
     )
+
+
+def _nearest_factory_map(
+    factories: tuple[Router, ...], targets: set[Router]
+) -> dict[Router, Router]:
+    """Nearest factory per distinct target (ties broken by router id).
+
+    Circuits consume magic states at far fewer distinct sites than T
+    gates, so resolving each site once beats a per-gate search.
+    """
+    return {
+        target: _nearest_factory(factories, target) for target in targets
+    }
 
 
 def build_tasks(
@@ -110,6 +123,23 @@ def build_tasks(
     """
     if distance < 1:
         raise ValueError(f"distance must be >= 1, got {distance}")
+    # Resolve per-qubit endpoint routers and the nearest factory per
+    # distinct consumption site once, instead of per operation.
+    endpoint: dict[str, Router] = {
+        q: mesh.tile_router(placement.position(q))
+        for q in placement.positions
+    }
+    magic_sites = {
+        endpoint[op.qubits[0]]
+        for op in circuit
+        if op.consumes_magic_state and op.qubits[0] in endpoint
+    }
+    nearest = (
+        _nearest_factory_map(factory_routers, magic_sites)
+        if magic_sites
+        else {}
+    )
+    local_cycles_by_kind: dict[GateKind, int] = {}
     tasks: list[OpTask] = []
     for index, op in enumerate(circuit):
         kind = op.spec.kind
@@ -119,19 +149,22 @@ def build_tasks(
                 "network simulation"
             )
         if op.arity == 2:
-            src = mesh.tile_router(placement.position(op.qubits[0]))
-            dst = mesh.tile_router(placement.position(op.qubits[1]))
+            src = endpoint[op.qubits[0]]
+            dst = endpoint[op.qubits[1]]
             segments = (
                 BraidSegment(src, dst, hold=distance),
                 BraidSegment(src, dst, hold=distance),
             )
             tasks.append(OpTask(index, segments, local_cycles=0))
         elif op.consumes_magic_state:
-            target = mesh.tile_router(placement.position(op.qubits[0]))
-            factory = _nearest_factory(mesh, factory_routers, target)
+            target = endpoint[op.qubits[0]]
+            factory = nearest[target]
             segments = (BraidSegment(factory, target, hold=distance),)
             tasks.append(OpTask(index, segments, local_cycles=0))
         else:
-            cycles = max(1, round(code.op_cycles(kind, distance)))
+            cycles = local_cycles_by_kind.get(kind)
+            if cycles is None:
+                cycles = max(1, round(code.op_cycles(kind, distance)))
+                local_cycles_by_kind[kind] = cycles
             tasks.append(OpTask(index, (), local_cycles=cycles))
     return tasks

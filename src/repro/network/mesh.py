@@ -9,11 +9,19 @@ buffer, or share channels -- Section 4.1).
 Routers are the corners of a ``rows x cols`` tile grid, i.e. a
 ``(rows+1) x (cols+1)`` node grid; the braid endpoint of tile (r, c) is
 its top-left corner router (r, c).
+
+Occupancy is a flat bitmask over integer link ids (horizontal links
+first, then vertical), so the hot operations of the braid simulator --
+"is this route free", "claim these links", "release everything this
+braid holds", "how many links are busy" -- are single big-int AND/OR
+operations and a popcount instead of per-link hash lookups.  The
+object-level API (:meth:`claim` / :meth:`release` / :meth:`is_path_free`
+over router paths) is preserved on top of the mask core.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Sequence
+from typing import Hashable, Sequence
 
 __all__ = ["Router", "Link", "BraidMesh", "path_links", "manhattan"]
 
@@ -45,6 +53,13 @@ class BraidMesh:
 
     Tracks which braid (by owner token) holds each link, plus cumulative
     busy-link statistics for the utilization metric of Figure 6.
+
+    Attributes:
+        epoch: Monotone counter bumped every time links are released.
+            A route search that failed at epoch ``e`` must fail again
+            while the epoch is still ``e`` (claims only remove links
+            from the free set), which is what lets the simulator skip
+            repeated searches for blocked opens.
     """
 
     def __init__(self, rows: int, cols: int) -> None:
@@ -54,7 +69,13 @@ class BraidMesh:
         self.cols = cols
         self.router_rows = rows + 1
         self.router_cols = cols + 1
-        self._occupancy: dict[Link, Owner] = {}
+        # Link ids: horizontal (r,c)-(r,c+1) -> r*cols' + c where
+        # cols' = router_cols - 1; vertical (r,c)-(r+1,c) follow.
+        self._num_h = self.router_rows * (self.router_cols - 1)
+        self._occupied = 0  # bitmask over link ids
+        self._owner_masks: dict[Owner, int] = {}
+        self._busy = 0
+        self.epoch = 0
         self._busy_link_cycles = 0
         self._observed_cycles = 0
 
@@ -77,13 +98,58 @@ class BraidMesh:
             raise ValueError(f"tile {tile} outside {self.rows}x{self.cols} grid")
         return (r, c)
 
+    # -- link ids and masks ----------------------------------------------------
+
+    def link_id(self, a: Router, b: Router) -> int:
+        """Integer id of the link between two adjacent routers."""
+        ra, ca = a
+        rb, cb = b
+        if ra == rb:  # horizontal
+            return ra * (self.router_cols - 1) + min(ca, cb)
+        return self._num_h + min(ra, rb) * self.router_cols + ca
+
+    def path_mask(self, path: Sequence[Router]) -> int:
+        """Bitmask of the links a router path traverses.
+
+        Raises:
+            ValueError: If consecutive routers are not mesh neighbors.
+        """
+        mask = 0
+        cols1 = self.router_cols - 1
+        num_h = self._num_h
+        router_cols = self.router_cols
+        prev = None
+        for node in path:
+            if prev is not None:
+                ra, ca = prev
+                rb, cb = node
+                if ra == rb:
+                    if abs(ca - cb) != 1:
+                        raise ValueError(
+                            f"path step {prev} -> {node} is not a mesh hop"
+                        )
+                    mask |= 1 << (ra * cols1 + min(ca, cb))
+                elif ca == cb and abs(ra - rb) == 1:
+                    mask |= 1 << (num_h + min(ra, rb) * router_cols + ca)
+                else:
+                    raise ValueError(
+                        f"path step {prev} -> {node} is not a mesh hop"
+                    )
+            prev = node
+        return mask
+
+    @property
+    def occupied_mask(self) -> int:
+        """Bitmask of currently claimed links."""
+        return self._occupied
+
     # -- occupancy ------------------------------------------------------------
 
     def is_path_free(self, path: Sequence[Router]) -> bool:
         """True when every link on the path is unclaimed and in bounds."""
         if any(not self.in_bounds(r) for r in path):
             return False
-        return all(link not in self._occupancy for link in path_links(path))
+        return self.path_mask(path) & self._occupied == 0
 
     def claim(self, path: Sequence[Router], owner: Owner) -> None:
         """Atomically claim all links of a route for ``owner``.
@@ -93,36 +159,59 @@ class BraidMesh:
                 checked with :meth:`is_path_free` first) or the owner
                 already holds a route.
         """
-        if owner in self._owner_index():
+        if owner in self._owner_masks:
             raise ValueError(f"owner {owner!r} already holds a route")
-        links = path_links(path)
-        for link in links:
-            if link in self._occupancy:
-                raise ValueError(f"link {set(link)} already claimed")
-        for link in links:
-            self._occupancy[link] = owner
+        mask = self.path_mask(path)
+        if mask & self._occupied:
+            for link in path_links(path):
+                if self._occupied >> self.link_id(*link) & 1:
+                    raise ValueError(f"link {set(link)} already claimed")
+        self.claim_mask(mask, owner)
+
+    def claim_mask(self, mask: int, owner: Owner) -> None:
+        """Claim a precomputed link mask for ``owner`` (hot path).
+
+        Raises:
+            ValueError: On conflict with claimed links or an owner that
+                already holds a route.
+        """
+        if mask & self._occupied:
+            raise ValueError(f"mask conflicts with claimed links for {owner!r}")
+        if mask:
+            if owner in self._owner_masks:
+                raise ValueError(f"owner {owner!r} already holds a route")
+            self._owner_masks[owner] = mask
+            self._occupied |= mask
+            self._busy += mask.bit_count()
 
     def release(self, owner: Owner) -> int:
         """Release every link held by ``owner``; returns links freed."""
-        mine = [link for link, who in self._occupancy.items() if who == owner]
-        for link in mine:
-            del self._occupancy[link]
-        return len(mine)
+        mask = self._owner_masks.pop(owner, 0)
+        if not mask:
+            return 0
+        self._occupied &= ~mask
+        freed = mask.bit_count()
+        self._busy -= freed
+        self.epoch += 1
+        return freed
 
     def owner_of(self, link: Link) -> Owner | None:
-        return self._occupancy.get(link)
+        bit = 1 << self.link_id(*link)
+        if not self._occupied & bit:
+            return None
+        for owner, mask in self._owner_masks.items():
+            if mask & bit:
+                return owner
+        return None  # pragma: no cover - occupied bits always have owners
 
     def busy_links(self) -> int:
-        return len(self._occupancy)
-
-    def _owner_index(self) -> set[Owner]:
-        return set(self._occupancy.values())
+        return self._busy
 
     # -- utilization accounting -------------------------------------------------
 
     def observe_cycle(self) -> None:
         """Record this cycle's busy-link count for utilization stats."""
-        self._busy_link_cycles += len(self._occupancy)
+        self._busy_link_cycles += self._busy
         self._observed_cycles += 1
 
     @property

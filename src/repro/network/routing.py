@@ -4,6 +4,14 @@ Section 6.1: "we add route adaptivity to a dimension-ordered route and a
 drop/re-inject mechanism, both after certain timeouts."  The canonical
 route is XY (column-first here); adaptive search widens to YX and to
 staircase detours through intermediate rows/columns.
+
+Routes are placement-static: for a fixed mesh shape and detour radius,
+the candidate list for a ``(src, dst)`` pair never changes -- only which
+candidate is *free* does.  :class:`RouteTable` therefore memoizes every
+pair's dimension-ordered route and full candidate list together with
+their precomputed link masks, so the simulator's route search reduces to
+``mask & occupied`` tests over a cached list instead of regenerating
+paths on every attempt.
 """
 
 from __future__ import annotations
@@ -12,7 +20,13 @@ from typing import Iterator
 
 from .mesh import BraidMesh, Router
 
-__all__ = ["dor_path", "alternative_paths", "find_free_path"]
+__all__ = [
+    "dor_path",
+    "alternative_paths",
+    "find_free_path",
+    "RouteTable",
+    "route_table",
+]
 
 
 def _straight(start: int, end: int) -> list[int]:
@@ -124,3 +138,70 @@ def find_free_path(
         if mesh.is_path_free(path):
             return path
     return None
+
+
+class RouteTable:
+    """Memoized routes + link masks for one mesh shape and detour radius.
+
+    Candidate order is exactly :func:`alternative_paths`' order, so a
+    scan over :meth:`alternatives` stopping at the first free mask picks
+    the same route :func:`find_free_path` would.  Masks depend only on
+    the mesh *shape* (the link-id scheme), so one table serves every
+    mesh -- and every policy's simulation -- of the same dimensions.
+    """
+
+    def __init__(self, rows: int, cols: int, max_detour: int = 4) -> None:
+        self.rows = rows
+        self.cols = cols
+        self.max_detour = max_detour
+        self._shape_mesh = BraidMesh(rows, cols)
+        self._dor: dict[
+            tuple[Router, Router], tuple[tuple[Router, ...], int]
+        ] = {}
+        self._alts: dict[
+            tuple[Router, Router], tuple[tuple[tuple[Router, ...], int], ...]
+        ] = {}
+
+    def dor(self, src: Router, dst: Router) -> tuple[tuple[Router, ...], int]:
+        """Deduped dimension-ordered route and its link mask."""
+        key = (src, dst)
+        entry = self._dor.get(key)
+        if entry is None:
+            path = tuple(_dedupe(dor_path(src, dst)))
+            entry = (path, self._shape_mesh.path_mask(path))
+            self._dor[key] = entry
+        return entry
+
+    def alternatives(
+        self, src: Router, dst: Router
+    ) -> tuple[tuple[tuple[Router, ...], int], ...]:
+        """All candidate routes (DOR first) with precomputed masks."""
+        key = (src, dst)
+        entry = self._alts.get(key)
+        if entry is None:
+            mesh = self._shape_mesh
+            entry = tuple(
+                (tuple(path), mesh.path_mask(path))
+                for path in alternative_paths(
+                    mesh, src, dst, self.max_detour
+                )
+            )
+            self._alts[key] = entry
+        return entry
+
+
+_ROUTE_TABLES: dict[tuple[int, int, int], RouteTable] = {}
+
+
+def route_table(rows: int, cols: int, max_detour: int = 4) -> RouteTable:
+    """Process-wide :class:`RouteTable` for a mesh shape.
+
+    Tables are shared across simulations (the seven-policy Figure 6
+    sweep reuses one table per machine shape).  Memory stays bounded by
+    the handful of distinct machine shapes a process sweeps.
+    """
+    key = (rows, cols, max_detour)
+    table = _ROUTE_TABLES.get(key)
+    if table is None:
+        table = _ROUTE_TABLES[key] = RouteTable(rows, cols, max_detour)
+    return table

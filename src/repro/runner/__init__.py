@@ -4,10 +4,13 @@
 * :mod:`repro.runner.cache` -- memory + on-disk JSON result cache.
 * :mod:`repro.runner.stages` -- the five pipeline stages + grid points.
 * :mod:`repro.runner.sweep` -- grid expansion, dedup, process fan-out.
+* :mod:`repro.runner.bench` -- cold-cache stage timing + regression gate.
 * :mod:`repro.runner.report` -- figure/table rendering from the cache.
-* :mod:`repro.runner.cli` -- ``python -m repro`` (run / sweep / report).
+* :mod:`repro.runner.cli` -- ``python -m repro``
+  (run / sweep / report / bench / cache).
 """
 
+from .bench import BenchReport, compare_reports, run_bench
 from .cache import CacheStats, StageCache
 from .keys import StageKey
 from .stages import (
@@ -39,4 +42,7 @@ __all__ = [
     "SweepRunner",
     "fig6_grid",
     "SMALL_SIM_SIZES",
+    "BenchReport",
+    "compare_reports",
+    "run_bench",
 ]

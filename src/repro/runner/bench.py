@@ -1,0 +1,306 @@
+"""Benchmark-trajectory harness for the staged pipeline.
+
+``python -m repro bench`` runs a cold-cache sweep (single process by
+default), records per-stage wall-clock from the stage cache's timing
+counters into a ``BENCH_<n>.json``-style report, and optionally:
+
+* re-runs every braid point through the *reference* simulator
+  (:mod:`repro.network._braidsim_reference`) on the same machine,
+  asserting bit-identical results and measuring the optimized core's
+  speedup; and
+* compares against a committed baseline report, failing on regression.
+
+Because absolute seconds are machine-dependent, the regression gate
+defaults to the *relative* metric: the optimized-vs-reference braid
+speedup measured in the same run.  A committed baseline records the
+speedup this codebase achieved when the baseline was captured; CI fails
+when the current tree loses more than ``tolerance`` of it.  Absolute
+stage seconds are also recorded (and comparable with ``absolute=True``)
+for same-machine trajectories like the repo-root ``BENCH_*.json``
+series.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+from ..network import BraidMesh, simulate_braids_reference
+from ..network.policies import POLICIES
+from ..qec.distance import choose_distance
+from .cache import StageCache
+from .stages import compute_braid, compute_frontend, compute_layout
+from .sweep import GridSpec, SweepRunner, fig6_grid
+
+__all__ = [
+    "BenchReport",
+    "BENCH_GRIDS",
+    "bench_grid",
+    "run_bench",
+    "compare_reports",
+]
+
+BENCH_FORMAT_VERSION = 1
+
+BENCH_GRIDS: dict[str, str] = {
+    "fig6": "the Figure 6 sweep (4 apps x 7 policies, sim sizes, d=5)",
+    "tiny": "a minutes-budget CI grid (3 apps x 7 policies, tiny sizes)",
+}
+
+
+def bench_grid(name: str) -> GridSpec:
+    """Resolve a bench grid preset."""
+    if name == "fig6":
+        return fig6_grid()
+    if name == "tiny":
+        return GridSpec(
+            apps=("gse", "sq", "im"),
+            sizes={"gse": 3, "sq": 2, "im": 8},
+            policies=tuple(range(7)),
+            distance=3,
+        )
+    raise KeyError(
+        f"unknown bench grid {name!r}; available: {sorted(BENCH_GRIDS)}"
+    )
+
+
+@dataclasses.dataclass
+class BenchReport:
+    """One benchmark measurement (JSON round-trippable).
+
+    Attributes:
+        grid: Bench grid preset name.
+        points: Grid points executed.
+        workers: Process count of the measured sweep.
+        stage_seconds: Per-stage wall-clock self time (cold cache).
+        total_seconds: Whole-sweep wall-clock.
+        reference_braid_seconds: Reference-simulator time over the same
+            braid points (None when the reference pass was skipped).
+        braid_speedup: ``reference_braid_seconds / stage_seconds
+            ["braid_sim"]`` (None without a reference pass).
+        equivalence_checked: Braid points verified bit-identical
+            against the reference simulator.
+        environment: Python/platform fingerprint of the machine.
+    """
+
+    grid: str
+    points: int
+    workers: int
+    stage_seconds: dict[str, float]
+    total_seconds: float
+    reference_braid_seconds: Optional[float] = None
+    braid_speedup: Optional[float] = None
+    equivalence_checked: int = 0
+    environment: dict = dataclasses.field(default_factory=dict)
+
+    @property
+    def braid_seconds(self) -> float:
+        return self.stage_seconds.get("braid_sim", 0.0)
+
+    def to_jsonable(self) -> dict:
+        payload = dataclasses.asdict(self)
+        payload["format"] = BENCH_FORMAT_VERSION
+        return payload
+
+    @classmethod
+    def from_jsonable(cls, payload: dict) -> "BenchReport":
+        payload = dict(payload)
+        version = payload.pop("format", None)
+        if version != BENCH_FORMAT_VERSION:
+            raise ValueError(
+                f"bench report format {version!r} is not the supported "
+                f"version {BENCH_FORMAT_VERSION}; re-record the report"
+            )
+        return cls(**payload)
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_jsonable(), indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "BenchReport":
+        return cls.from_jsonable(
+            json.loads(Path(path).read_text(encoding="utf-8"))
+        )
+
+
+def _environment() -> dict:
+    import os
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "cpus": os.cpu_count(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+
+def _reference_pass(
+    cache: StageCache, grid: GridSpec
+) -> tuple[float, int]:
+    """Time the reference simulator over the grid's unique braid points.
+
+    The sweep that just ran left every frontend, layout, and optimized
+    braid result in ``cache``; each point is re-simulated with the seed
+    event loop and must match bit-identically.
+
+    Raises:
+        RuntimeError: If any point diverges from the optimized result.
+    """
+    seen: set[tuple] = set()
+    elapsed = 0.0
+    checked = 0
+    for spec in grid.expand():
+        spec = spec.normalized()
+        policy = POLICIES[spec.policy]
+        optimize_layout = (
+            spec.optimize_layout
+            if spec.optimize_layout is not None
+            else policy.optimized_layout
+        )
+        fe = compute_frontend(cache, spec.app, spec.size, spec.inline_depth)
+        distance = (
+            spec.distance
+            if spec.distance is not None
+            else choose_distance(fe.logical.target_pl, spec.technology())
+        )
+        ident = (
+            spec.app, spec.size, spec.inline_depth, spec.policy,
+            distance, optimize_layout,
+        )
+        if ident in seen:
+            continue
+        seen.add(ident)
+        machine = compute_layout(
+            cache, spec.app, spec.size, spec.inline_depth, optimize_layout
+        )
+        optimized = compute_braid(
+            cache,
+            spec.app,
+            spec.size,
+            spec.inline_depth,
+            policy=spec.policy,
+            distance=distance,
+            optimize_layout=optimize_layout,
+        )
+        mesh = BraidMesh(machine.grid.rows, machine.grid.cols)
+        start = time.perf_counter()
+        reference = simulate_braids_reference(
+            machine.circuit,
+            machine.placement,
+            mesh,
+            spec.policy,
+            distance,
+            code=machine.code,
+            factory_routers=machine.factory_routers,
+            dag=fe.dag,
+        )
+        elapsed += time.perf_counter() - start
+        checked += 1
+        if reference != optimized:
+            raise RuntimeError(
+                "optimized braid simulator diverged from the reference "
+                f"at {ident}: {optimized} != {reference}"
+            )
+    return elapsed, checked
+
+
+def run_bench(
+    grid: Union[str, GridSpec] = "fig6",
+    reference: bool = False,
+    workers: int = 1,
+) -> BenchReport:
+    """Run one cold-cache benchmark measurement.
+
+    Args:
+        grid: Bench grid preset name (see :data:`BENCH_GRIDS`) or an
+            explicit :class:`GridSpec` (reported as ``"custom"``).
+        reference: Also time the reference simulator over the same
+            braid points and verify bit-identical results.
+        workers: Sweep process count (stage timing is only meaningful
+            per process; keep 1 for trajectory comparisons).
+    """
+    if isinstance(grid, str):
+        spec = bench_grid(grid)
+    else:
+        spec, grid = grid, "custom"
+    cache = StageCache()
+    runner = SweepRunner(cache=cache, workers=workers)
+    start = time.perf_counter()
+    result = runner.run(spec)
+    total = time.perf_counter() - start
+    report = BenchReport(
+        grid=grid,
+        points=len(result.points),
+        workers=result.workers,
+        stage_seconds={
+            stage: round(seconds, 4)
+            for stage, seconds in sorted(result.stats.seconds.items())
+        },
+        total_seconds=round(total, 4),
+        environment=_environment(),
+    )
+    if reference:
+        # After a parallel sweep the stage artifacts live in worker
+        # processes; _reference_pass recomputes any missing prefix
+        # through the local cache before timing the reference loop.
+        ref_seconds, checked = _reference_pass(cache, spec)
+        report.reference_braid_seconds = round(ref_seconds, 4)
+        report.equivalence_checked = checked
+        braid = report.braid_seconds
+        if braid > 0:
+            report.braid_speedup = round(ref_seconds / braid, 4)
+    return report
+
+
+def compare_reports(
+    current: BenchReport,
+    baseline: BenchReport,
+    tolerance: float = 0.25,
+    absolute: bool = False,
+) -> list[str]:
+    """Regression check; returns a list of failure descriptions.
+
+    Relative mode (default) compares the optimized-vs-reference braid
+    speedup, which cancels machine speed out of the gate.  Absolute
+    mode compares raw ``braid_sim`` stage seconds and is only sound on
+    the machine that recorded the baseline.
+    """
+    failures: list[str] = []
+    if current.grid != baseline.grid:
+        failures.append(
+            f"grid mismatch: current {current.grid!r} vs baseline "
+            f"{baseline.grid!r}"
+        )
+        return failures
+    if absolute:
+        floor = baseline.braid_seconds * (1.0 + tolerance)
+        if current.braid_seconds > floor:
+            failures.append(
+                f"braid_sim regressed: {current.braid_seconds:.2f}s > "
+                f"{baseline.braid_seconds:.2f}s * (1 + {tolerance:.2f})"
+            )
+        return failures
+    if current.braid_speedup is None:
+        failures.append(
+            "current report has no braid_speedup (run with reference=True)"
+        )
+        return failures
+    if baseline.braid_speedup is None:
+        failures.append("baseline report has no braid_speedup")
+        return failures
+    floor = baseline.braid_speedup * (1.0 - tolerance)
+    if current.braid_speedup < floor:
+        failures.append(
+            f"braid_sim speedup regressed: {current.braid_speedup:.2f}x "
+            f"< {baseline.braid_speedup:.2f}x * (1 - {tolerance:.2f})"
+        )
+    return failures

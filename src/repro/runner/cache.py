@@ -16,6 +16,7 @@ import dataclasses
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Callable, Iterator, Optional
 
@@ -35,11 +36,15 @@ class CacheStats:
         hits: In-memory hits per stage.
         disk_hits: On-disk hits per stage (loaded, not recomputed).
         misses: Full computations per stage.
+        seconds: Wall-clock *self* time spent computing per stage
+            (time inside nested stage computations is attributed to
+            the nested stage, not the caller).
     """
 
     hits: dict[str, int] = dataclasses.field(default_factory=dict)
     disk_hits: dict[str, int] = dataclasses.field(default_factory=dict)
     misses: dict[str, int] = dataclasses.field(default_factory=dict)
+    seconds: dict[str, float] = dataclasses.field(default_factory=dict)
 
     def record_hit(self, stage: str) -> None:
         self.hits[stage] = self.hits.get(stage, 0) + 1
@@ -50,12 +55,16 @@ class CacheStats:
     def record_miss(self, stage: str) -> None:
         self.misses[stage] = self.misses.get(stage, 0) + 1
 
+    def record_seconds(self, stage: str, elapsed: float) -> None:
+        self.seconds[stage] = self.seconds.get(stage, 0.0) + elapsed
+
     def merge(self, other: "CacheStats") -> None:
         """Fold another process's counters into this one."""
         for counter, theirs in (
             (self.hits, other.hits),
             (self.disk_hits, other.disk_hits),
             (self.misses, other.misses),
+            (self.seconds, other.seconds),
         ):
             for stage, count in theirs.items():
                 counter[stage] = counter.get(stage, 0) + count
@@ -68,19 +77,25 @@ class CacheStats:
         """How many executions were avoided for ``stage``."""
         return self.hits.get(stage, 0) + self.disk_hits.get(stage, 0)
 
-    def as_dict(self) -> dict[str, dict[str, int]]:
+    def stage_seconds(self, stage: str) -> float:
+        """Wall-clock self time spent computing ``stage``."""
+        return self.seconds.get(stage, 0.0)
+
+    def as_dict(self) -> dict[str, dict]:
         return {
             "hits": dict(self.hits),
             "disk_hits": dict(self.disk_hits),
             "misses": dict(self.misses),
+            "seconds": dict(self.seconds),
         }
 
     @classmethod
-    def from_dict(cls, payload: dict[str, dict[str, int]]) -> "CacheStats":
+    def from_dict(cls, payload: dict[str, dict]) -> "CacheStats":
         return cls(
             hits=dict(payload.get("hits", {})),
             disk_hits=dict(payload.get("disk_hits", {})),
             misses=dict(payload.get("misses", {})),
+            seconds=dict(payload.get("seconds", {})),
         )
 
     def summary(self) -> str:
@@ -89,10 +104,13 @@ class CacheStats:
         )
         parts = []
         for stage in stages:
-            parts.append(
+            part = (
                 f"{stage}: {self.computed(stage)} computed, "
                 f"{self.reused(stage)} reused"
             )
+            if stage in self.seconds:
+                part += f", {self.seconds[stage]:.2f}s"
+            parts.append(part)
         return "; ".join(parts) if parts else "empty"
 
 
@@ -108,6 +126,9 @@ class StageCache:
         self._memory: dict[StageKey, Any] = {}
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
         self.stats = CacheStats()
+        # Nested-compute bookkeeping for self-time attribution: each
+        # frame accumulates the inclusive seconds of its child stages.
+        self._child_seconds: list[float] = []
 
     def get_or_compute(
         self,
@@ -139,7 +160,16 @@ class StageCache:
                 self.stats.record_disk_hit(key.stage)
                 return value
         self.stats.record_miss(key.stage)
-        value = compute()
+        start = time.perf_counter()
+        self._child_seconds.append(0.0)
+        try:
+            value = compute()
+        finally:
+            elapsed = time.perf_counter() - start
+            nested = self._child_seconds.pop()
+            if self._child_seconds:
+                self._child_seconds[-1] += elapsed
+            self.stats.record_seconds(key.stage, elapsed - nested)
         self._memory[key] = value
         if self.disk_dir is not None and to_jsonable is not None:
             self.store_payload(key, to_jsonable(value))
@@ -199,6 +229,130 @@ class StageCache:
                 continue
             if record.get("format") == CACHE_FORMAT_VERSION:
                 yield record
+
+    # -- disk administration (``python -m repro cache``) ---------------------
+
+    def _stage_dirs(self) -> list[Path]:
+        if self.disk_dir is None or not self.disk_dir.is_dir():
+            return []
+        return sorted(p for p in self.disk_dir.iterdir() if p.is_dir())
+
+    def disk_stats(self) -> dict[str, Any]:
+        """Entry counts, byte sizes, and age range of the disk level."""
+        stages: dict[str, dict[str, Any]] = {}
+        total_entries = 0
+        total_bytes = 0
+        for stage_dir in self._stage_dirs():
+            entries = 0
+            size = 0
+            oldest: Optional[float] = None
+            newest: Optional[float] = None
+            for path in stage_dir.glob("*.json"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries += 1
+                size += stat.st_size
+                mtime = stat.st_mtime
+                oldest = mtime if oldest is None else min(oldest, mtime)
+                newest = mtime if newest is None else max(newest, mtime)
+            if entries:
+                stages[stage_dir.name] = {
+                    "entries": entries,
+                    "bytes": size,
+                    "oldest_mtime": oldest,
+                    "newest_mtime": newest,
+                }
+                total_entries += entries
+                total_bytes += size
+        return {
+            "dir": str(self.disk_dir) if self.disk_dir else None,
+            "stages": stages,
+            "total_entries": total_entries,
+            "total_bytes": total_bytes,
+        }
+
+    def prune(
+        self,
+        older_than_seconds: Optional[float] = None,
+        stage: Optional[str] = None,
+        now: Optional[float] = None,
+    ) -> int:
+        """Delete persisted payloads; returns the number removed.
+
+        Args:
+            older_than_seconds: Only remove entries whose mtime is at
+                least this old; None removes unconditionally.
+            stage: Restrict to one stage directory.
+            now: Reference timestamp (testing hook; defaults to
+                ``time.time()``).
+        """
+        reference = time.time() if now is None else now
+        removed = 0
+        for stage_dir in self._stage_dirs():
+            if stage is not None and stage_dir.name != stage:
+                continue
+            for path in stage_dir.glob("*.json"):
+                try:
+                    if older_than_seconds is not None:
+                        age = reference - path.stat().st_mtime
+                        if age < older_than_seconds:
+                            continue
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    continue
+        return removed
+
+    def verify(self) -> dict[str, Any]:
+        """Check disk payloads parse and match their digest filenames.
+
+        Every record embeds its key's human-readable description;
+        rebuilding the :class:`StageKey` from it must reproduce the
+        digest the file is named after (canonical JSON is stable under
+        a decode/re-encode round trip).  Returns per-problem lists so
+        callers can report or re-prune.
+        """
+        checked = 0
+        ok = 0
+        corrupt: list[str] = []
+        stale_format: list[str] = []
+        mismatched: list[str] = []
+        for stage_dir in self._stage_dirs():
+            for path in sorted(stage_dir.glob("*.json")):
+                checked += 1
+                try:
+                    with open(path, encoding="utf-8") as handle:
+                        record = json.load(handle)
+                except (OSError, json.JSONDecodeError):
+                    corrupt.append(str(path))
+                    continue
+                if record.get("format") != CACHE_FORMAT_VERSION:
+                    stale_format.append(str(path))
+                    continue
+                described = record.get("key") or {}
+                try:
+                    key = StageKey.make(
+                        described["stage"], **described.get("params", {})
+                    )
+                except (KeyError, TypeError):
+                    corrupt.append(str(path))
+                    continue
+                if (
+                    key.stage != stage_dir.name
+                    or key.digest != path.stem
+                ):
+                    mismatched.append(str(path))
+                    continue
+                ok += 1
+        return {
+            "checked": checked,
+            "ok": ok,
+            "corrupt": corrupt,
+            "stale_format": stale_format,
+            "mismatched": mismatched,
+        }
 
     def clear_memory(self) -> None:
         """Drop live objects (disk payloads survive)."""

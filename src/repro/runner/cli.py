@@ -1,4 +1,4 @@
-"""``python -m repro``: run, sweep, and report from the command line.
+"""``python -m repro``: run, sweep, report, bench, and cache admin.
 
 Subcommands:
 
@@ -9,6 +9,10 @@ Subcommands:
   optional process parallelism; persists results as JSON.
 * ``report`` -- re-render Figures 6-9 and Tables 1-2 from cached
   results (``--cache-dir``) or a saved sweep file (``--results``).
+* ``bench`` -- cold-cache stage-timing measurement through
+  :mod:`repro.runner.bench`, with optional reference-simulator
+  verification and a baseline regression gate.
+* ``cache`` -- stats / prune / verify for an on-disk stage cache.
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ import json
 import sys
 from typing import Optional, Sequence
 
+from .bench import BENCH_GRIDS, BenchReport, compare_reports, run_bench
 from .cache import StageCache
 from .stages import TECH_PRESETS, PointSpec, run_point
 from .sweep import (
@@ -178,6 +183,73 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="write the sweep results JSON here"
     )
 
+    bench = sub.add_parser(
+        "bench", help="measure cold-cache stage timings, gate regressions"
+    )
+    bench.add_argument(
+        "--grid",
+        choices=sorted(BENCH_GRIDS),
+        default="fig6",
+        help="bench grid preset",
+    )
+    bench.add_argument(
+        "--reference",
+        action="store_true",
+        help=(
+            "also time the pre-optimization reference simulator and "
+            "verify bit-identical results (enables the relative gate)"
+        ),
+    )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="sweep process count (keep 1 for comparable stage timings)",
+    )
+    bench.add_argument(
+        "--out", default=None, help="write the bench report JSON here"
+    )
+    bench.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline report to compare against (fail on regression)",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression against the baseline",
+    )
+    bench.add_argument(
+        "--absolute",
+        action="store_true",
+        help=(
+            "gate on absolute braid_sim seconds instead of the "
+            "machine-independent speedup ratio"
+        ),
+    )
+
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect or maintain an on-disk stage cache"
+    )
+    cache_cmd.add_argument(
+        "action", choices=["stats", "prune", "verify"]
+    )
+    cache_cmd.add_argument(
+        "--cache-dir", required=True, help="stage cache directory"
+    )
+    cache_cmd.add_argument(
+        "--older-than-days",
+        type=float,
+        default=None,
+        help="prune: only remove entries at least this old",
+    )
+    cache_cmd.add_argument(
+        "--stage",
+        default=None,
+        help="prune: restrict to one stage directory",
+    )
+
     report = sub.add_parser(
         "report", help="re-render a figure/table from cached results"
     )
@@ -298,6 +370,91 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    reference = args.reference
+    if args.baseline and not args.absolute and not reference:
+        print(
+            "relative baseline gate needs the reference pass; "
+            "enabling --reference",
+            file=sys.stderr,
+        )
+        reference = True
+    report = run_bench(
+        grid=args.grid, reference=reference, workers=args.workers
+    )
+    print(json.dumps(report.to_jsonable(), indent=1, sort_keys=True))
+    if report.equivalence_checked:
+        print(
+            f"verified {report.equivalence_checked} braid points "
+            "bit-identical to the reference simulator",
+            file=sys.stderr,
+        )
+    if report.braid_speedup is not None:
+        print(
+            f"braid_sim: {report.braid_seconds:.2f}s optimized vs "
+            f"{report.reference_braid_seconds:.2f}s reference "
+            f"({report.braid_speedup:.2f}x)",
+            file=sys.stderr,
+        )
+    if args.out:
+        report.save(args.out)
+        print(f"bench report written to {args.out}", file=sys.stderr)
+    if args.baseline:
+        baseline = BenchReport.load(args.baseline)
+        failures = compare_reports(
+            report,
+            baseline,
+            tolerance=args.tolerance,
+            absolute=args.absolute,
+        )
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"no regression against {args.baseline} "
+            f"(tolerance {args.tolerance:.0%})",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    if args.action != "prune" and (
+        args.older_than_days is not None or args.stage is not None
+    ):
+        print(
+            "--older-than-days/--stage only apply to the prune action",
+            file=sys.stderr,
+        )
+        return 2
+    cache = StageCache(args.cache_dir)
+    if args.action == "stats":
+        print(json.dumps(cache.disk_stats(), indent=1))
+        return 0
+    if args.action == "prune":
+        seconds = (
+            args.older_than_days * 86400.0
+            if args.older_than_days is not None
+            else None
+        )
+        removed = cache.prune(older_than_seconds=seconds, stage=args.stage)
+        print(f"pruned {removed} cache entries", file=sys.stderr)
+        return 0
+    result = cache.verify()
+    print(json.dumps(result, indent=1))
+    bad = (
+        len(result["corrupt"])
+        + len(result["stale_format"])
+        + len(result["mismatched"])
+    )
+    if bad:
+        print(f"{bad} problematic cache entries", file=sys.stderr)
+        return 1
+    print(f"all {result['ok']} entries verified", file=sys.stderr)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from . import report as renderers
 
@@ -354,6 +511,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
         return _cmd_report(args)
     except BrokenPipeError:
         # Downstream reader (e.g. `| head`) closed stdout early.

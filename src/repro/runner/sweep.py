@@ -6,8 +6,17 @@ technology).  :class:`SweepRunner` deduplicates identical points,
 groups the rest by their shared frontend compilation, and executes the
 groups either serially through one :class:`StageCache` (every shared
 prefix computed exactly once) or across a
-:class:`~concurrent.futures.ProcessPoolExecutor` (one worker per
-frontend group, so no frontend is ever compiled twice, in any mode).
+:class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Parallel execution splits each frontend group into *work-stealing
+chunks over the policy axis*: when there are more workers than frontend
+groups, a group's braid simulations -- the sweep's hot stage -- are
+striped across several chunk jobs, and idle workers pull the next chunk
+from the pool queue.  Each chunk compiles its frontend at most once in
+its worker process, so a group split into ``k`` chunks compiles its
+frontend at most ``k`` times; with ``workers <= groups`` the split
+degenerates to one chunk per group and every frontend is compiled
+exactly once across the pool, as before.
 """
 
 from __future__ import annotations
@@ -44,49 +53,71 @@ class GridSpec:
 
     Attributes:
         apps: Applications to sweep.
-        sizes: Per-app size knob; None uses each app's default size.
+        sizes: Per-app size knob; None uses each app's default size.  A
+            value may be a single size or a *sequence* of sizes, so a
+            Figure 9-style size sweep is one grid.
         policies: Braid policies to sweep.
         inline_depths: Flattening variants (None = fully inlined).
         regions: SIMD region count.
         tech_name: Technology preset.
         error_rate: Explicit error rate overriding the preset.
+        error_rates: Error-rate *list* sweeping the technology axis
+            (None entries fall back to ``tech_name``); overrides
+            ``error_rate`` when given.
         distance: Code distance override for simulations.
         window: EPR look-ahead window.
     """
 
     apps: tuple[str, ...] = DEFAULT_APPS
-    sizes: Optional[Mapping[str, int]] = None
+    sizes: Optional[Mapping[str, Union[int, Sequence[int]]]] = None
     policies: tuple[int, ...] = (6,)
     inline_depths: tuple[Optional[int], ...] = (None,)
     regions: int = 4
     tech_name: str = "intermediate"
     error_rate: Optional[float] = None
+    error_rates: Optional[tuple[Optional[float], ...]] = None
     distance: Optional[int] = None
     window: int = 64
+
+    def _app_sizes(self, app: str) -> tuple[Optional[int], ...]:
+        if self.sizes is None:
+            return (None,)
+        value = self.sizes.get(app)
+        if value is None:
+            return (None,)
+        if isinstance(value, int):
+            return (value,)
+        return tuple(value)
+
+    def _error_rates(self) -> tuple[Optional[float], ...]:
+        if self.error_rates is not None:
+            return tuple(self.error_rates)
+        return (self.error_rate,)
 
     def expand(self) -> list[PointSpec]:
         """Cross product as normalized, deduplicated grid points."""
         specs: list[PointSpec] = []
         seen: set[str] = set()
         for app in self.apps:
-            size = self.sizes.get(app) if self.sizes is not None else None
-            for inline_depth in self.inline_depths:
-                for policy in self.policies:
-                    spec = PointSpec(
-                        app=app,
-                        size=size,
-                        inline_depth=inline_depth,
-                        policy=policy,
-                        regions=self.regions,
-                        tech_name=self.tech_name,
-                        error_rate=self.error_rate,
-                        distance=self.distance,
-                        window=self.window,
-                    ).normalized()
-                    digest = spec.key().digest
-                    if digest not in seen:
-                        seen.add(digest)
-                        specs.append(spec)
+            for size in self._app_sizes(app):
+                for inline_depth in self.inline_depths:
+                    for error_rate in self._error_rates():
+                        for policy in self.policies:
+                            spec = PointSpec(
+                                app=app,
+                                size=size,
+                                inline_depth=inline_depth,
+                                policy=policy,
+                                regions=self.regions,
+                                tech_name=self.tech_name,
+                                error_rate=error_rate,
+                                distance=self.distance,
+                                window=self.window,
+                            ).normalized()
+                            digest = spec.key().digest
+                            if digest not in seen:
+                                seen.add(digest)
+                                specs.append(spec)
         return specs
 
 
@@ -172,7 +203,9 @@ class SweepRunner:
             ``workers > 1`` this is also how workers persist results.
         workers: Process count.  ``1`` (default) runs in-process and
             shares every stage through one memory cache; ``> 1`` fans
-            frontend-sharing groups out to a process pool.
+            work-stealing chunks of frontend-sharing groups out to a
+            process pool (splitting the braid stage inside a group
+            when workers outnumber groups).
     """
 
     def __init__(
@@ -213,13 +246,31 @@ class SweepRunner:
     def _run_parallel(
         self, specs: Sequence[PointSpec]
     ) -> tuple[list[PointResult], CacheStats]:
-        """Fan frontend-sharing groups out to a process pool."""
+        """Fan work-stealing chunks of frontend groups out to a pool.
+
+        With more workers than frontend groups, each group's points --
+        dominated by the per-policy braid simulations -- are striped
+        across ``workers // groups`` chunk jobs, so the braid stage
+        itself parallelizes instead of serializing behind one worker
+        per group.  The pool queue is the steal queue: idle workers
+        take whichever chunk is next.
+        """
         groups: dict[str, list[PointSpec]] = {}
         for spec in specs:
             digest = frontend_key(
                 spec.app, spec.size, spec.inline_depth
             ).digest
             groups.setdefault(digest, []).append(spec)
+
+        chunks: list[list[PointSpec]] = []
+        splits = max(1, self.workers // max(1, len(groups)))
+        for group in groups.values():
+            stripes = min(splits, len(group))
+            # Round-robin striping balances the per-policy cost skew
+            # (policy 0/1 simulate far longer on contended apps).
+            chunks.extend(
+                group[offset::stripes] for offset in range(stripes)
+            )
 
         cache_dir = (
             str(self.cache.disk_dir)
@@ -228,15 +279,15 @@ class SweepRunner:
         )
         stats = CacheStats()
         by_digest: dict[str, PointResult] = {}
-        max_workers = min(self.workers, len(groups))
+        max_workers = min(self.workers, len(chunks))
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             futures = [
                 pool.submit(
                     _run_group,
-                    [spec.to_jsonable() for spec in group],
+                    [spec.to_jsonable() for spec in chunk],
                     cache_dir,
                 )
-                for group in groups.values()
+                for chunk in chunks
             ]
             for future in as_completed(futures):
                 payload = future.result()
@@ -263,7 +314,7 @@ def _dedup(specs: Iterable[PointSpec]) -> list[PointSpec]:
 def _diff(after: CacheStats, before: CacheStats) -> CacheStats:
     """Counters accumulated between two snapshots of the same cache."""
     result = CacheStats()
-    for name in ("hits", "disk_hits", "misses"):
+    for name in ("hits", "disk_hits", "misses", "seconds"):
         now, then, out = (
             getattr(after, name),
             getattr(before, name),

@@ -1,0 +1,140 @@
+"""Bench harness: stage timing capture, reference gate, baselines."""
+
+import json
+
+import pytest
+
+from repro.runner import GridSpec, SweepRunner
+from repro.runner.bench import (
+    BENCH_GRIDS,
+    BenchReport,
+    bench_grid,
+    compare_reports,
+    run_bench,
+)
+
+TINY = GridSpec(
+    apps=("sq",), sizes={"sq": 2}, policies=(0, 6), distance=3
+)
+
+
+class TestGridPresets:
+    def test_presets_resolve(self):
+        for name in BENCH_GRIDS:
+            spec = bench_grid(name)
+            assert spec.expand(), name
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(KeyError, match="unknown bench grid"):
+            bench_grid("nope")
+
+    def test_fig6_preset_is_the_paper_grid(self):
+        assert len(bench_grid("fig6").expand()) == 28
+
+
+class TestRunBench:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_bench(TINY, reference=True)
+
+    def test_stage_seconds_recorded(self, report):
+        assert report.grid == "custom"
+        assert report.points == 2
+        assert report.stage_seconds["braid_sim"] > 0
+        assert report.stage_seconds["frontend"] > 0
+        assert report.total_seconds >= report.stage_seconds["braid_sim"]
+
+    def test_reference_pass_verified(self, report):
+        assert report.equivalence_checked == 2
+        assert report.reference_braid_seconds is not None
+        assert report.braid_speedup is not None
+
+    def test_without_reference(self):
+        report = run_bench(TINY)
+        assert report.reference_braid_seconds is None
+        assert report.braid_speedup is None
+        assert report.equivalence_checked == 0
+
+    def test_round_trip(self, report, tmp_path):
+        path = tmp_path / "bench.json"
+        report.save(path)
+        loaded = BenchReport.load(path)
+        assert loaded == report
+        assert json.loads(path.read_text())["format"] == 1
+
+    def test_unknown_format_rejected(self, report, tmp_path):
+        path = tmp_path / "bench.json"
+        payload = report.to_jsonable()
+        payload["format"] = 99
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(ValueError, match="format"):
+            BenchReport.load(path)
+
+
+class TestTimingAttribution:
+    def test_braid_seconds_exclude_frontend(self):
+        """Stage seconds are self time: the braid stage's closure pulls
+        the frontend through the cache, but its compile time must be
+        attributed to the frontend stage."""
+        runner = SweepRunner()
+        stats = runner.run(TINY).stats
+        assert stats.stage_seconds("frontend") > 0
+        assert stats.stage_seconds("braid_sim") > 0
+        total_children = sum(
+            stats.stage_seconds(s)
+            for s in ("frontend", "layout", "braid_sim", "simd", "simd_epr",
+                      "accounting")
+        )
+        # The 'point' stage self time is glue, not the whole pipeline.
+        assert stats.stage_seconds("point") < total_children
+
+
+def _report(**overrides) -> BenchReport:
+    base = dict(
+        grid="tiny",
+        points=21,
+        workers=1,
+        stage_seconds={"braid_sim": 2.0},
+        total_seconds=4.0,
+        reference_braid_seconds=10.0,
+        braid_speedup=5.0,
+        equivalence_checked=21,
+    )
+    base.update(overrides)
+    return BenchReport(**base)
+
+
+class TestCompareReports:
+    def test_no_regression(self):
+        assert compare_reports(_report(), _report()) == []
+
+    def test_speedup_regression_detected(self):
+        current = _report(braid_speedup=3.0)
+        failures = compare_reports(current, _report(), tolerance=0.25)
+        assert failures and "speedup regressed" in failures[0]
+
+    def test_within_tolerance_passes(self):
+        current = _report(braid_speedup=4.0)
+        assert compare_reports(current, _report(), tolerance=0.25) == []
+
+    def test_absolute_mode(self):
+        current = _report(stage_seconds={"braid_sim": 3.0})
+        assert compare_reports(
+            current, _report(), tolerance=0.25, absolute=True
+        )
+        assert (
+            compare_reports(
+                current, _report(), tolerance=0.6, absolute=True
+            )
+            == []
+        )
+
+    def test_grid_mismatch_fails(self):
+        failures = compare_reports(_report(grid="fig6"), _report())
+        assert failures and "grid mismatch" in failures[0]
+
+    def test_missing_speedup_fails(self):
+        failures = compare_reports(
+            _report(braid_speedup=None), _report()
+        )
+        assert failures and "braid_speedup" in failures[0]

@@ -1,0 +1,138 @@
+"""Property tests for StageKey canonicalization (Hypothesis).
+
+The sweep runner's dedup and the disk cache both hinge on one
+invariant: logically equal stage parameters produce the same canonical
+JSON, hence the same key and digest -- regardless of dict insertion
+order, tuple-vs-list spelling, or set iteration order.
+"""
+
+import dataclasses
+import json
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runner.keys import StageKey, canonical_json, canonicalize
+
+# JSON-able scalar leaves; text is capped to keep shrinking fast.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**12), max_value=10**12),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=12),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+def shuffled_dicts(value, rng):
+    """Deep-copy with every dict's insertion order randomized."""
+    if isinstance(value, dict):
+        items = [(k, shuffled_dicts(v, rng)) for k, v in value.items()]
+        rng.shuffle(items)
+        return dict(items)
+    if isinstance(value, list):
+        return [shuffled_dicts(v, rng) for v in value]
+    return value
+
+
+def listify(value):
+    """Replace every list with an equivalent tuple."""
+    if isinstance(value, dict):
+        return {k: listify(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return tuple(listify(v) for v in value)
+    return value
+
+
+class TestCanonicalInvariance:
+    @given(values, st.integers())
+    @settings(max_examples=150)
+    def test_dict_order_invariant(self, value, seed):
+        rng = random.Random(seed)
+        assert canonical_json(value) == canonical_json(
+            shuffled_dicts(value, rng)
+        )
+
+    @given(values)
+    @settings(max_examples=150)
+    def test_tuple_list_aliasing(self, value):
+        assert canonical_json(value) == canonical_json(listify(value))
+
+    @given(values, st.integers())
+    @settings(max_examples=100)
+    def test_key_digest_invariant(self, value, seed):
+        rng = random.Random(seed)
+        a = StageKey.make("stage", param=value)
+        b = StageKey.make("stage", param=listify(shuffled_dicts(value, rng)))
+        assert a == b
+        assert a.digest == b.digest
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=8).filter(
+                lambda s: s.isidentifier() and s != "stage"
+            ),
+            scalars,
+            min_size=1,
+            max_size=5,
+        ),
+        st.integers(),
+    )
+    @settings(max_examples=100)
+    def test_kwarg_order_invariant(self, params, seed):
+        items = list(params.items())
+        random.Random(seed).shuffle(items)
+        assert StageKey.make("s", **params) == StageKey.make(
+            "s", **dict(items)
+        )
+
+    @given(st.sets(st.integers(min_value=-100, max_value=100), max_size=8))
+    @settings(max_examples=60)
+    def test_set_canonicalizes_sorted(self, value):
+        assert canonicalize(value) == sorted(value)
+        assert canonical_json(value) == canonical_json(frozenset(value))
+
+    @given(values)
+    @settings(max_examples=100)
+    def test_canonical_json_round_trip_stable(self, value):
+        """Decode/re-encode is a fixpoint (what cache verify relies on)."""
+        text = canonical_json(value)
+        assert canonical_json(json.loads(text)) == text
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    @settings(max_examples=100)
+    def test_float_exactness(self, value):
+        decoded = json.loads(canonical_json(value))
+        assert decoded == value
+
+
+class TestDataclassParams:
+    def test_dataclass_equals_field_dict(self):
+        @dataclasses.dataclass(frozen=True)
+        class Knobs:
+            alpha: float
+            names: tuple
+
+        knobs = Knobs(alpha=0.5, names=("a", "b"))
+        as_dict = {"alpha": 0.5, "names": ["a", "b"]}
+        assert StageKey.make("s", k=knobs) == StageKey.make("s", k=as_dict)
+
+    def test_uncanonicalizable_rejected(self):
+        class Opaque:
+            pass
+
+        try:
+            StageKey.make("s", k=Opaque())
+        except TypeError:
+            return
+        raise AssertionError("expected TypeError for opaque parameter")

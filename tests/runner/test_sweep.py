@@ -62,6 +62,55 @@ class TestGridExpansion:
         assert len(result.points) == 1
 
 
+class TestGridLists:
+    def test_per_app_size_lists(self):
+        specs = GridSpec(
+            apps=("sq", "gse"),
+            sizes={"sq": (2, 3), "gse": 3},
+            policies=(6,),
+        ).expand()
+        assert {(s.app, s.size) for s in specs} == {
+            ("sq", 2),
+            ("sq", 3),
+            ("gse", 3),
+        }
+
+    def test_error_rate_lists(self):
+        specs = GridSpec(
+            apps=("sq",),
+            sizes={"sq": 2},
+            policies=(6,),
+            error_rates=(1e-3, 1e-5, None),
+        ).expand()
+        assert [s.error_rate for s in specs] == [1e-3, 1e-5, None]
+
+    def test_error_rates_override_scalar(self):
+        specs = GridSpec(
+            apps=("sq",),
+            sizes={"sq": 2},
+            policies=(6,),
+            error_rate=1e-4,
+            error_rates=(1e-3,),
+        ).expand()
+        assert [s.error_rate for s in specs] == [1e-3]
+
+    def test_fig9_style_grid_in_one_spec(self):
+        """Size lists x error-rate lists: the Figure 9 plane."""
+        specs = GridSpec(
+            apps=("sq", "im"),
+            sizes={"sq": (2, 3), "im": (4, 6)},
+            policies=(6,),
+            error_rates=(1e-3, 1e-5),
+        ).expand()
+        assert len(specs) == 2 * 2 * 2
+
+    def test_duplicate_sizes_deduplicated(self):
+        specs = GridSpec(
+            apps=("sq",), sizes={"sq": (2, 2)}, policies=(6,)
+        ).expand()
+        assert len(specs) == 1
+
+
 class TestSharedPrefixReuse:
     def test_frontend_compiled_exactly_once_per_app(self):
         result = SweepRunner().run(TINY)
@@ -123,6 +172,39 @@ class TestParallel:
         )
         assert result.workers == 1
         assert len(result.points) == 1
+
+    @pytest.mark.slow
+    def test_braid_stage_splits_inside_one_group(self, tmp_path):
+        """With more workers than frontend groups, one app's policies
+        fan out across chunk jobs (the braid-stage parallelization);
+        results still match the serial run bit for bit."""
+        grid = GridSpec(
+            apps=("sq",), sizes={"sq": 2}, policies=(0, 1, 5, 6),
+            distance=3,
+        )
+        serial = SweepRunner().run(grid)
+        parallel = SweepRunner(
+            cache_dir=tmp_path / "cache", workers=2
+        ).run(grid)
+        assert [p.to_jsonable() for p in parallel.points] == [
+            p.to_jsonable() for p in serial.points
+        ]
+        # One frontend group split across two chunk jobs: the frontend
+        # compiles once per chunk worker, and both workers simulate.
+        assert parallel.stats.computed("frontend") == 2
+        assert parallel.stats.computed("braid_sim") == 4
+
+    @pytest.mark.slow
+    def test_workers_capped_by_chunks(self, tmp_path):
+        grid = GridSpec(
+            apps=("sq",), sizes={"sq": 2}, policies=(0, 6), distance=3
+        )
+        result = SweepRunner(
+            cache_dir=tmp_path / "cache", workers=8
+        ).run(grid)
+        # 2 points -> at most 2 chunks, results intact.
+        assert len(result.points) == 2
+        assert result.stats.computed("braid_sim") == 2
 
 
 class TestPointSemantics:
