@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
@@ -26,7 +26,18 @@ from ..frontend.decompose import decompose_circuit
 from ..frontend.estimate import LogicalEstimate, estimate_circuit
 from .registry import AppSpec, get_app
 
-__all__ = ["PowerLaw", "AppScalingModel", "calibrate", "CALIBRATION_SIZES"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..runner.cache import StageCache
+
+__all__ = [
+    "PowerLaw",
+    "AppScalingModel",
+    "calibrate",
+    "calibration_estimate",
+    "calibration_sizes",
+    "fit_scaling_model",
+    "CALIBRATION_SIZES",
+]
 
 CALIBRATION_SIZES: dict[str, tuple[int, ...]] = {
     "gse": (3, 4, 6, 8),
@@ -104,35 +115,35 @@ class AppScalingModel:
 _MODEL_CACHE: dict[str, AppScalingModel] = {}
 
 
-def calibrate(
-    app: str | AppSpec,
-    sizes: Optional[Sequence[int]] = None,
-    use_cache: bool = True,
-) -> AppScalingModel:
-    """Fit an :class:`AppScalingModel` from generated instances.
+def calibration_sizes(app: str | AppSpec) -> tuple[int, ...]:
+    """The default calibration size knobs for an application."""
+    spec = get_app(app) if isinstance(app, str) else app
+    return CALIBRATION_SIZES[spec.name]
 
-    Args:
-        app: Application name or spec.
-        sizes: Calibration size knobs; defaults to
-            :data:`CALIBRATION_SIZES` for the app.
-        use_cache: Reuse a previously fitted model for the default sizes.
+
+def calibration_estimate(app: str | AppSpec, size: int) -> LogicalEstimate:
+    """Compile and estimate one calibration instance.
+
+    Builds the app's *scaling-regime* circuit (``scaling_build`` when the
+    asymptotic family differs from the size knob), lowers it to
+    Clifford+T, and summarizes it.  This is the expensive half of a
+    calibration; :func:`repro.runner.stages.compute_scaling` memoizes it
+    per ``(app, size)`` through the stage cache.
     """
     spec = get_app(app) if isinstance(app, str) else app
-    chosen = tuple(sizes) if sizes is not None else CALIBRATION_SIZES[spec.name]
-    cache_key = spec.name
-    if use_cache and sizes is None and cache_key in _MODEL_CACHE:
-        return _MODEL_CACHE[cache_key]
-    if len(chosen) < 2:
+    lowered = decompose_circuit(spec.scaling_circuit(size))
+    return estimate_circuit(lowered)
+
+
+def fit_scaling_model(
+    app_name: str, estimates: Sequence[LogicalEstimate]
+) -> AppScalingModel:
+    """Fit the power-law model from per-size calibration estimates."""
+    if len(estimates) < 2:
         raise ValueError("need at least two calibration sizes")
-
-    estimates: list[LogicalEstimate] = []
-    for size in chosen:
-        lowered = decompose_circuit(spec.scaling_circuit(size))
-        estimates.append(estimate_circuit(lowered))
-
     ops = [e.total_operations for e in estimates]
-    model = AppScalingModel(
-        app_name=spec.name,
+    return AppScalingModel(
+        app_name=app_name,
         qubits_vs_ops=PowerLaw.fit(ops, [e.num_qubits for e in estimates]),
         depth_vs_ops=PowerLaw.fit(ops, [e.critical_path for e in estimates]),
         parallelism_factor=float(
@@ -143,6 +154,41 @@ def calibrate(
             np.mean([e.two_qubit_count / e.total_operations for e in estimates])
         ),
         calibration_ops=tuple(ops),
+    )
+
+
+def calibrate(
+    app: str | AppSpec,
+    sizes: Optional[Sequence[int]] = None,
+    use_cache: bool = True,
+    cache: Optional["StageCache"] = None,
+) -> AppScalingModel:
+    """Fit an :class:`AppScalingModel` from generated instances.
+
+    Args:
+        app: Application name or spec.
+        sizes: Calibration size knobs; defaults to
+            :data:`CALIBRATION_SIZES` for the app.
+        use_cache: Reuse a previously fitted model for the default sizes.
+        cache: Optional :class:`~repro.runner.cache.StageCache`; when
+            given, the per-size compiles and the fit run through the
+            ``scaling_calib``/``scaling`` toolflow stages (shared and
+            persisted with any sweep using the same cache).
+    """
+    spec = get_app(app) if isinstance(app, str) else app
+    if cache is not None:
+        from ..runner.stages import compute_scaling
+
+        return compute_scaling(cache, spec.name, sizes)
+    chosen = tuple(sizes) if sizes is not None else CALIBRATION_SIZES[spec.name]
+    cache_key = spec.name
+    if use_cache and sizes is None and cache_key in _MODEL_CACHE:
+        return _MODEL_CACHE[cache_key]
+    if len(chosen) < 2:
+        raise ValueError("need at least two calibration sizes")
+
+    model = fit_scaling_model(
+        spec.name, [calibration_estimate(spec, size) for size in chosen]
     )
     if use_cache and sizes is None:
         _MODEL_CACHE[cache_key] = model

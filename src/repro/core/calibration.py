@@ -25,7 +25,7 @@ import dataclasses
 from typing import TYPE_CHECKING, Optional
 
 from ..apps.registry import SIM_SIZES, get_app
-from ..apps.scaling import AppScalingModel, calibrate
+from ..apps.scaling import AppScalingModel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..runner.cache import StageCache
@@ -141,7 +141,9 @@ def calibrate_app(
         stage_cache = stages.StageCache()
 
     if inline_depth is None:
-        scaling = calibrate(spec.name)
+        # Routed through the `scaling` stage: the calibration circuits
+        # compile once per app per cache (and persist to its disk level).
+        scaling = stages.compute_scaling(stage_cache, spec.name)
     else:
         scaling = _variant_scaling(spec, inline_depth, stage_cache)
 

@@ -17,7 +17,9 @@ before backend mapping:
 
 from __future__ import annotations
 
+import functools
 import math
+from typing import Sequence
 
 from ..qasm.circuit import Circuit, Operation
 
@@ -78,9 +80,9 @@ def decompose_circuit(
     return out
 
 
-def _lower(op: Operation, config: DecomposeConfig) -> list[Operation]:
+def _lower(op: Operation, config: DecomposeConfig) -> Sequence[Operation]:
     if not op.spec.is_composite:
-        return [op]
+        return (op,)
     if op.gate == "TOFFOLI":
         return _toffoli(*op.qubits)
     if op.gate == "FREDKIN":
@@ -91,7 +93,14 @@ def _lower(op: Operation, config: DecomposeConfig) -> list[Operation]:
     raise NotImplementedError(f"no decomposition for {op.gate}")
 
 
-def _toffoli(c1: str, c2: str, target: str) -> list[Operation]:
+# The expansion helpers are memoized: large circuits apply the same
+# composite to the same operand tuple thousands of times (SHA-1's round
+# function alone), and Operation is frozen, so the expansions can be
+# shared structurally.  They return tuples -- callers must not mutate.
+
+
+@functools.lru_cache(maxsize=65536)
+def _toffoli(c1: str, c2: str, target: str) -> tuple[Operation, ...]:
     """Standard 7-T Toffoli (controls c1, c2; target t)."""
     seq = [
         ("H", (target,)),
@@ -110,19 +119,18 @@ def _toffoli(c1: str, c2: str, target: str) -> list[Operation]:
         ("TDG", (c2,)),
         ("CNOT", (c1, c2)),
     ]
-    return [Operation(gate, qubits) for gate, qubits in seq]
+    return tuple(Operation(gate, qubits) for gate, qubits in seq)
 
 
-def _fredkin(control: str, a: str, b: str) -> list[Operation]:
+@functools.lru_cache(maxsize=16384)
+def _fredkin(control: str, a: str, b: str) -> tuple[Operation, ...]:
     """Controlled-swap as CNOT-conjugated Toffoli."""
-    return (
-        [Operation("CNOT", (b, a))]
-        + _toffoli(control, a, b)
-        + [Operation("CNOT", (b, a))]
-    )
+    conjugate = Operation("CNOT", (b, a))
+    return (conjugate,) + _toffoli(control, a, b) + (conjugate,)
 
 
-def _rz(qubit: str, angle: float, precision: float) -> list[Operation]:
+@functools.lru_cache(maxsize=65536)
+def _rz(qubit: str, angle: float, precision: float) -> tuple[Operation, ...]:
     """Deterministic Clifford+T word with the gridsynth T-count.
 
     Angles that are exact multiples of pi/4 are synthesized exactly from
@@ -144,10 +152,10 @@ def _rz(qubit: str, angle: float, precision: float) -> list[Operation]:
         word.append(Operation("H", (qubit,)))
         word.append(Operation("T" if state & (1 << 32) else "TDG", (qubit,)))
     word.append(Operation("H", (qubit,)))
-    return word
+    return tuple(word)
 
 
-def _exact_eighth_turn(qubit: str, eighths: int) -> list[Operation]:
+def _exact_eighth_turn(qubit: str, eighths: int) -> tuple[Operation, ...]:
     """Exact synthesis of RZ(k * pi/4) from {Z, S, SDG, T, TDG}."""
     table: dict[int, list[str]] = {
         0: [],
@@ -159,4 +167,4 @@ def _exact_eighth_turn(qubit: str, eighths: int) -> list[Operation]:
         6: ["SDG"],
         7: ["TDG"],
     }
-    return [Operation(gate, (qubit,)) for gate in table[eighths]]
+    return tuple(Operation(gate, (qubit,)) for gate in table[eighths])

@@ -21,11 +21,14 @@ from .events import BraidSegment, OpTask, build_tasks
 from .mesh import BraidMesh, manhattan, path_links
 from .policies import ALL_POLICIES, POLICIES, Policy
 from .routing import (
+    ROUTE_TABLE_CAPACITY,
     RouteTable,
     alternative_paths,
     dor_path,
     find_free_path,
     route_table,
+    route_table_stats,
+    set_route_table_capacity,
 )
 from .teleport import DEFAULT_TELEPORT_MODEL, TeleportModel
 
@@ -49,7 +52,10 @@ __all__ = [
     "ReferenceBraidSimulator",
     "simulate_braids_reference",
     "RouteTable",
+    "ROUTE_TABLE_CAPACITY",
     "route_table",
+    "route_table_stats",
+    "set_route_table_capacity",
     "TeleportModel",
     "DEFAULT_TELEPORT_MODEL",
     "EprDemand",

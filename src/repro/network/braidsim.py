@@ -26,7 +26,12 @@ The inner loop runs on flat data structures:
   instead of rebuilding closures inside the issue fixpoint;
 * a blocked open records the mesh *epoch* (release counter) at which its
   route search failed and skips the search entirely until a link is
-  released or adaptivity widens its candidate set.
+  released or adaptivity widens its candidate set;
+* close-first policies (5 and 6) keep their ready opens in an
+  incrementally-maintained queue — arrival-ordered FIFO entries for
+  Policy 5, criticality buckets with cached per-bucket sorts for
+  Policy 6 — so each issue-fixpoint iteration re-sorts only what
+  changed instead of the whole ready set.
 
 Results are bit-identical to the seed event loop, which is preserved in
 :mod:`repro.network._braidsim_reference` and enforced by the golden
@@ -38,6 +43,7 @@ from __future__ import annotations
 import dataclasses
 import heapq
 import itertools
+from bisect import bisect_left, insort
 from typing import Optional
 
 from ..partition.layout import Placement
@@ -110,6 +116,141 @@ class BraidSimResult:
 
 # Phase codes (int-valued for flat array storage).
 _WAITING, _READY, _HOLDING, _CLOSING, _DONE = range(5)
+
+
+class _FifoReadyQueue:
+    """Arrival-ordered ready opens for close-first FIFO policies (5).
+
+    Arrival stamps are globally monotone, so the queue is an
+    append-only list of ``(stamp, op)`` entries that is sorted by
+    construction; removals and re-stamps invalidate entries lazily
+    (an entry is live iff its op is still ready *and* carries the
+    entry's stamp).  :meth:`ordered` therefore replaces the per-
+    fixpoint-iteration O(n log n) sort with one linear scan, and
+    compacts the backing list when stale entries pile up.
+    """
+
+    __slots__ = ("_arrival", "_entries")
+
+    def __init__(self, arrival: list[int]) -> None:
+        self._arrival = arrival
+        self._entries: list[tuple[int, int]] = []
+
+    def add(self, op: int) -> None:
+        self._entries.append((self._arrival[op], op))
+
+    def remove(self, op: int) -> None:
+        pass  # lazy: the entry dies with its stale ready-set membership
+
+    def restamp(self, op: int) -> None:
+        # Drop/re-inject: the old entry goes stale, the new stamp is
+        # larger than every existing one so appending keeps the order.
+        self._entries.append((self._arrival[op], op))
+
+    def ordered(self, ready: set[int]) -> list[int]:
+        arrival = self._arrival
+        out = [
+            op
+            for stamp, op in self._entries
+            if op in ready and arrival[op] == stamp
+        ]
+        if len(self._entries) > 2 * len(out) + 64:
+            self._entries = [(arrival[op], op) for op in out]
+        return out
+
+
+class _BucketReadyQueue:
+    """Criticality-bucketed ready opens for Policy 6's combined rule.
+
+    The combined key ``(-crit, ±length, arrival, op)`` orders ops by
+    criticality bucket first; only the *sign* of the length component
+    depends on the ready set (via the median-criticality threshold).
+    Buckets are therefore kept per criticality value with their sorted
+    order cached per (membership, sign): a fixpoint iteration re-sorts
+    only buckets whose membership changed or whose side of the
+    threshold flipped, and concatenates cached runs for the rest —
+    a partial resort instead of re-sorting the whole ready set.
+    """
+
+    __slots__ = (
+        "_crit",
+        "_length",
+        "_arrival",
+        "_buckets",
+        "_order_cache",
+        "_crits",
+        "_distinct",
+    )
+
+    def __init__(
+        self, crit: list[int], length: list[int], arrival: list[int]
+    ) -> None:
+        self._crit = crit
+        self._length = length
+        self._arrival = arrival
+        self._buckets: dict[int, list[int]] = {}
+        # crit -> (is_high_side, members sorted for that side)
+        self._order_cache: dict[int, tuple[bool, list[int]]] = {}
+        self._crits: list[int] = []  # multiset, ascending
+        self._distinct: list[int] = []  # distinct crits, ascending
+
+    def add(self, op: int) -> None:
+        crit = self._crit[op]
+        bucket = self._buckets.get(crit)
+        if bucket is None:
+            self._buckets[crit] = [op]
+            insort(self._distinct, crit)
+        else:
+            bucket.append(op)
+        self._order_cache.pop(crit, None)
+        insort(self._crits, crit)
+
+    def remove(self, op: int) -> None:
+        crit = self._crit[op]
+        bucket = self._buckets[crit]
+        bucket.remove(op)
+        self._order_cache.pop(crit, None)
+        if not bucket:
+            del self._buckets[crit]
+            self._distinct.pop(bisect_left(self._distinct, crit))
+        self._crits.pop(bisect_left(self._crits, crit))
+
+    def restamp(self, op: int) -> None:
+        # Arrival changed: membership is intact but the cached order
+        # within the op's bucket is no longer trustworthy.
+        self._order_cache.pop(self._crit[op], None)
+
+    def ordered(self, ready: set[int]) -> list[int]:
+        crits = self._crits
+        n = len(crits)
+        if n == 0:
+            return []
+        # Median of the ready criticalities, descending convention:
+        # values_desc[(n - 1) // 2] == values_asc[n - 1 - (n - 1) // 2].
+        threshold = crits[n - 1 - (n - 1) // 2]
+        length = self._length
+        arrival = self._arrival
+        cache = self._order_cache
+        out: list[int] = []
+        for crit in reversed(self._distinct):
+            high = crit >= threshold
+            cached = cache.get(crit)
+            if cached is None or cached[0] is not high:
+                if high:
+                    run = sorted(
+                        self._buckets[crit],
+                        key=lambda op: (length[op], arrival[op], op),
+                    )
+                else:
+                    run = sorted(
+                        self._buckets[crit],
+                        key=lambda op: (-length[op], arrival[op], op),
+                    )
+                cache[crit] = (high, run)
+            else:
+                run = cached[1]
+            out.extend(run)
+        return out
 
 # Event kinds, packed into the low bits of the per-seq meta entry.
 _EXPIRY, _LOCAL, _WAKE = range(3)
@@ -207,6 +348,24 @@ class BraidSimulator:
         self._fail_epoch = [-1] * n
         self._fail_adaptive = [False] * n
 
+        # Close-first policies re-derive the open order at every issue
+        # fixpoint iteration; an incrementally-maintained queue replaces
+        # the full ready-set sort (see the queue classes above).  Policy
+        # combinations without a specialized queue fall back to
+        # :meth:`_sort_opens`, which stays the semantic reference (the
+        # golden tests assert the queues reproduce it exactly).
+        self._open_queue: Optional[_FifoReadyQueue | _BucketReadyQueue]
+        if policy.closes_first and policy.combined_length_rule:
+            self._open_queue = _BucketReadyQueue(
+                self._criticality, self._route_length, self._arrival
+            )
+        elif policy.closes_first and not (
+            policy.use_criticality or policy.use_length
+        ):
+            self._open_queue = _FifoReadyQueue(self._arrival)
+        else:
+            self._open_queue = None
+
     # -- public API ---------------------------------------------------------
 
     def run(self) -> BraidSimResult:
@@ -286,6 +445,8 @@ class BraidSimulator:
             self._wait_start[op] = time
             self._arrival[op] = next(self._arrival_counter)
             self._ready_opens.add(op)
+            if self._open_queue is not None:
+                self._open_queue.add(op)
         else:
             # Local op: runs unconditionally for its duration.
             self._phase[op] = _HOLDING
@@ -378,12 +539,17 @@ class BraidSimulator:
         while True:
             closes = sorted(self._closing)
             self._closing = []
-            opens = self._eligible_opens()
             if closes_first:
-                # Closes in index order, then opens in policy order.
+                # Closes in index order, then opens in policy order (the
+                # incremental queue when the policy has one).
+                if self._open_queue is not None:
+                    ordered = self._open_queue.ordered(self._ready_opens)
+                else:
+                    ordered = self._sort_opens(self._eligible_opens())
                 sequence = [(op, True) for op in closes]
-                sequence += [(op, False) for op in self._sort_opens(opens)]
+                sequence += [(op, False) for op in ordered]
             else:
+                opens = self._eligible_opens()
                 # Unprioritized: events interleave by program order.
                 # (The policy's open ordering collapses to op index
                 # here, exactly as the seed's merged sort did.)
@@ -420,6 +586,8 @@ class BraidSimulator:
             self._wait_start[op] = time
             self._arrival[op] = next(self._arrival_counter)
             self._ready_opens.add(op)
+            if self._open_queue is not None:
+                self._open_queue.add(op)
 
     def _try_open(self, op: int, time: int) -> bool:
         config = self.config
@@ -462,6 +630,8 @@ class BraidSimulator:
                 self._drops += 1
                 self._wait_start[op] = time
                 self._arrival[op] = next(self._arrival_counter)
+                if self._open_queue is not None:
+                    self._open_queue.restamp(op)
             if not adaptive:
                 # Make sure the op is retried once adaptivity unlocks,
                 # even if no braid closes in the meantime.
@@ -477,6 +647,8 @@ class BraidSimulator:
             self._adaptive += 1
         mesh.claim_mask(mask, op)
         self._ready_opens.discard(op)
+        if self._open_queue is not None:
+            self._open_queue.remove(op)
         self._phase[op] = _HOLDING
         self._braids += 1
         # Open takes this cycle; stabilize for `hold`; then close.

@@ -13,7 +13,13 @@ import dataclasses
 from collections import Counter
 from typing import Iterable, Iterator, Optional, Sequence
 
-from .gates import GateKind, GateSpec, canonical_gate_name, gate_spec
+from .gates import (
+    GATE_SPECS,
+    GateKind,
+    GateSpec,
+    canonical_gate_name,
+    gate_spec,
+)
 
 __all__ = ["Operation", "Circuit"]
 
@@ -33,16 +39,21 @@ class Operation:
     param: Optional[float] = None
 
     def __post_init__(self) -> None:
-        canonical = canonical_gate_name(self.gate)
-        if canonical != self.gate:
-            object.__setattr__(self, "gate", canonical)
-        spec = gate_spec(self.gate)
-        if len(self.qubits) != spec.arity:
+        # Fast path: the mnemonic is already canonical (true for every
+        # operation the frontend itself constructs).
+        spec = GATE_SPECS.get(self.gate)
+        if spec is None:
+            canonical = canonical_gate_name(self.gate)
+            if canonical != self.gate:
+                object.__setattr__(self, "gate", canonical)
+            spec = gate_spec(self.gate)
+        num_qubits = len(self.qubits)
+        if num_qubits != spec.arity:
             raise ValueError(
                 f"{self.gate} expects {spec.arity} qubits, got "
                 f"{len(self.qubits)}: {self.qubits}"
             )
-        if len(set(self.qubits)) != len(self.qubits):
+        if num_qubits > 1 and len(set(self.qubits)) != num_qubits:
             raise ValueError(
                 f"{self.gate} operands must be distinct, got {self.qubits}"
             )
@@ -51,7 +62,11 @@ class Operation:
 
     @property
     def spec(self) -> GateSpec:
-        return gate_spec(self.gate)
+        # self.gate is canonical after __post_init__.
+        try:
+            return GATE_SPECS[self.gate]
+        except KeyError:  # pragma: no cover - unreachable post-validation
+            return gate_spec(self.gate)
 
     @property
     def arity(self) -> int:

@@ -137,10 +137,20 @@ _ALIASES = {
 }
 
 
+_CANONICAL_CACHE: dict[str, str] = {}
+_CANONICAL_CACHE_LIMIT = 4096  # bound growth under adversarial inputs
+
+
 def canonical_gate_name(name: str) -> str:
     """Map a raw mnemonic (any case, aliases allowed) to canonical form."""
+    cached = _CANONICAL_CACHE.get(name)
+    if cached is not None:
+        return cached
     upper = name.upper()
-    return _ALIASES.get(upper, upper)
+    canonical = _ALIASES.get(upper, upper)
+    if len(_CANONICAL_CACHE) < _CANONICAL_CACHE_LIMIT:
+        _CANONICAL_CACHE[name] = canonical
+    return canonical
 
 
 def gate_spec(name: str) -> GateSpec:

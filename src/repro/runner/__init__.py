@@ -2,12 +2,16 @@
 
 * :mod:`repro.runner.keys` -- stable stage-invocation identities.
 * :mod:`repro.runner.cache` -- memory + on-disk JSON result cache.
-* :mod:`repro.runner.stages` -- the five pipeline stages + grid points.
+* :mod:`repro.runner.stages` -- the pipeline stages + grid points.
 * :mod:`repro.runner.sweep` -- grid expansion, dedup, process fan-out.
 * :mod:`repro.runner.bench` -- cold-cache stage timing + regression gate.
 * :mod:`repro.runner.report` -- figure/table rendering from the cache.
 * :mod:`repro.runner.cli` -- ``python -m repro``
   (run / sweep / report / bench / cache).
+
+See ``docs/ARCHITECTURE.md`` for the module map and the cache-key flow
+through the stages, and ``docs/PERFORMANCE.md`` for the bench harness
+and the CI regression gate.
 """
 
 from .bench import BenchReport, compare_reports, run_bench
@@ -16,6 +20,7 @@ from .keys import StageKey
 from .stages import (
     PointResult,
     PointSpec,
+    compute_scaling,
     default_cache,
     reset_default_cache,
     run_point,
@@ -34,6 +39,7 @@ __all__ = [
     "StageKey",
     "PointResult",
     "PointSpec",
+    "compute_scaling",
     "default_cache",
     "reset_default_cache",
     "run_point",

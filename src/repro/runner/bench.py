@@ -11,13 +11,21 @@ counters into a ``BENCH_<n>.json``-style report, and optionally:
 * compares against a committed baseline report, failing on regression.
 
 Because absolute seconds are machine-dependent, the regression gate
-defaults to the *relative* metric: the optimized-vs-reference braid
-speedup measured in the same run.  A committed baseline records the
-speedup this codebase achieved when the baseline was captured; CI fails
-when the current tree loses more than ``tolerance`` of it.  Absolute
-stage seconds are also recorded (and comparable with ``absolute=True``)
-for same-machine trajectories like the repo-root ``BENCH_*.json``
-series.
+defaults to *relative* metrics measured within one run:
+
+* the optimized-vs-reference braid speedup (the headline ratio); and
+* every stage's self time normalized by the reference simulator's
+  time on the same machine (``stage_seconds[stage] /
+  reference_braid_seconds``), which gates the whole pipeline —
+  frontend, layout, braid, SIMD/EPR, scaling, accounting — not just
+  the braid stage.
+
+A committed baseline records the ratios this codebase achieved when
+the baseline was captured; CI fails when the current tree loses more
+than ``tolerance`` of any of them (plus a small additive slack so
+millisecond-scale stages don't flake).  Absolute stage seconds are
+also recorded (and comparable with ``absolute=True``) for same-machine
+trajectories like the repo-root ``BENCH_*.json`` series.
 """
 
 from __future__ import annotations
@@ -100,6 +108,21 @@ class BenchReport:
     @property
     def braid_seconds(self) -> float:
         return self.stage_seconds.get("braid_sim", 0.0)
+
+    def stage_ratio(self, stage: str) -> Optional[float]:
+        """One stage's self time normalized by the reference braid time.
+
+        The reference simulator runs in the same process on the same
+        inputs, so the ratio cancels machine speed out of cross-machine
+        comparisons the same way ``braid_speedup`` does.  None when the
+        reference pass was skipped.
+        """
+        if not self.reference_braid_seconds:
+            return None
+        return (
+            self.stage_seconds.get(stage, 0.0)
+            / self.reference_braid_seconds
+        )
 
     def to_jsonable(self) -> dict:
         payload = dataclasses.asdict(self)
@@ -261,18 +284,30 @@ def run_bench(
     return report
 
 
+ABSOLUTE_SLACK_SECONDS = 0.1
+"""Additive slack for the absolute gate (protects millisecond stages)."""
+
+RATIO_SLACK = 0.02
+"""Additive slack on the normalized scale (~2% of the reference braid
+time) so tiny stages aren't gated on scheduler noise."""
+
+
 def compare_reports(
     current: BenchReport,
     baseline: BenchReport,
     tolerance: float = 0.25,
     absolute: bool = False,
+    ratio_slack: float = RATIO_SLACK,
 ) -> list[str]:
     """Regression check; returns a list of failure descriptions.
 
-    Relative mode (default) compares the optimized-vs-reference braid
-    speedup, which cancels machine speed out of the gate.  Absolute
-    mode compares raw ``braid_sim`` stage seconds and is only sound on
-    the machine that recorded the baseline.
+    Relative mode (default) gates the optimized-vs-reference braid
+    speedup *and* every baseline stage's reference-normalized self
+    time, which cancels machine speed out of the gate.  Absolute mode
+    compares raw per-stage seconds and is only sound on the machine
+    that recorded the baseline.  Stages present in the current report
+    but absent from the baseline are not gated (re-record the baseline
+    to start gating a new stage).
     """
     failures: list[str] = []
     if current.grid != baseline.grid:
@@ -282,12 +317,22 @@ def compare_reports(
         )
         return failures
     if absolute:
-        floor = baseline.braid_seconds * (1.0 + tolerance)
-        if current.braid_seconds > floor:
-            failures.append(
-                f"braid_sim regressed: {current.braid_seconds:.2f}s > "
-                f"{baseline.braid_seconds:.2f}s * (1 + {tolerance:.2f})"
+        for stage, base_seconds in sorted(baseline.stage_seconds.items()):
+            cur_seconds = current.stage_seconds.get(stage)
+            if cur_seconds is None:
+                failures.append(
+                    f"{stage} missing from the current report "
+                    "(stage removed or renamed?)"
+                )
+                continue
+            ceiling = (
+                base_seconds * (1.0 + tolerance) + ABSOLUTE_SLACK_SECONDS
             )
+            if cur_seconds > ceiling:
+                failures.append(
+                    f"{stage} regressed: {cur_seconds:.2f}s > "
+                    f"{base_seconds:.2f}s * (1 + {tolerance:.2f})"
+                )
         return failures
     if current.braid_speedup is None:
         failures.append(
@@ -303,4 +348,24 @@ def compare_reports(
             f"braid_sim speedup regressed: {current.braid_speedup:.2f}x "
             f"< {baseline.braid_speedup:.2f}x * (1 - {tolerance:.2f})"
         )
+    for stage, base_seconds in sorted(baseline.stage_seconds.items()):
+        if stage == "braid_sim":
+            continue  # gated by the speedup check above
+        base_ratio = baseline.stage_ratio(stage)
+        cur_ratio = current.stage_ratio(stage)
+        if base_ratio is None or cur_ratio is None:
+            continue  # unreachable with braid_speedup set; be safe
+        if stage not in current.stage_seconds:
+            failures.append(
+                f"{stage} missing from the current report "
+                "(stage removed or renamed?)"
+            )
+            continue
+        ceiling = base_ratio * (1.0 + tolerance) + ratio_slack
+        if cur_ratio > ceiling:
+            failures.append(
+                f"{stage} regressed: {cur_ratio:.3f}x reference braid "
+                f"time > {base_ratio:.3f}x * (1 + {tolerance:.2f}) + "
+                f"{ratio_slack:.2f} slack"
+            )
     return failures

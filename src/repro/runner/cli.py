@@ -23,7 +23,13 @@ import json
 import sys
 from typing import Optional, Sequence
 
-from .bench import BENCH_GRIDS, BenchReport, compare_reports, run_bench
+from .bench import (
+    BENCH_GRIDS,
+    RATIO_SLACK,
+    BenchReport,
+    compare_reports,
+    run_bench,
+)
 from .cache import StageCache
 from .stages import TECH_PRESETS, PointSpec, run_point
 from .sweep import (
@@ -212,7 +218,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--baseline",
         default=None,
-        help="baseline report to compare against (fail on regression)",
+        help=(
+            "baseline report to compare against (fail on regression; "
+            "gates every stage the baseline records, not just braid_sim)"
+        ),
     )
     bench.add_argument(
         "--tolerance",
@@ -221,11 +230,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fractional regression against the baseline",
     )
     bench.add_argument(
+        "--ratio-slack",
+        type=float,
+        default=RATIO_SLACK,
+        help=(
+            "additive slack on reference-normalized stage ratios "
+            "(protects millisecond-scale stages from timer noise)"
+        ),
+    )
+    bench.add_argument(
         "--absolute",
         action="store_true",
         help=(
-            "gate on absolute braid_sim seconds instead of the "
-            "machine-independent speedup ratio"
+            "gate on absolute per-stage seconds instead of the "
+            "machine-independent reference-normalized ratios"
         ),
     )
 
@@ -406,14 +424,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             baseline,
             tolerance=args.tolerance,
             absolute=args.absolute,
+            ratio_slack=args.ratio_slack,
         )
         if failures:
             for failure in failures:
                 print(f"REGRESSION: {failure}", file=sys.stderr)
             return 1
+        gated = sorted(baseline.stage_seconds)
         print(
             f"no regression against {args.baseline} "
-            f"(tolerance {args.tolerance:.0%})",
+            f"(tolerance {args.tolerance:.0%}; gated stages: "
+            f"{', '.join(gated)})",
             file=sys.stderr,
         )
     return 0

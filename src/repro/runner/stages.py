@@ -1,6 +1,6 @@
 """Explicit, independently-invokable stages of the Figure 4 toolflow.
 
-The monolithic pipeline is split into five stages, each memoized
+The monolithic pipeline is split into explicit stages, each memoized
 through a :class:`~repro.runner.cache.StageCache` under a
 :class:`~repro.runner.keys.StageKey`:
 
@@ -8,11 +8,14 @@ through a :class:`~repro.runner.cache.StageCache` under a
 * ``layout`` — sized tiled (double-defect) machine with placement.
 * ``braid_sim`` — braid network simulation for one (policy, distance).
 * ``simd_epr`` — Multi-SIMD schedule + pipelined EPR distribution.
+* ``scaling`` — power-law scaling model fitted from calibration
+  instances (with each instance's compile cached under
+  ``scaling_calib``).
 * ``accounting`` — planar/double-defect space-time estimates.
 
 Stage compute closures request their upstream stages *through the
 cache*, so a downstream hit (e.g. a braid result revived from disk)
-skips the whole prefix.  :func:`run_point` composes all five for one
+skips the whole prefix.  :func:`run_point` composes the stages for one
 grid point and is itself cached under the ``point`` stage, which is
 what the sweep runner and the CLI persist and report from.
 """
@@ -20,10 +23,16 @@ what the sweep runner and the CLI persist and report from.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..apps.registry import get_app
-from ..apps.scaling import calibrate
+from ..apps.scaling import (
+    AppScalingModel,
+    PowerLaw,
+    calibration_estimate,
+    calibration_sizes,
+    fit_scaling_model,
+)
 from ..arch.multisimd import MultiSimdMachine, build_multisimd_machine
 from ..arch.tiled import TiledMachine, build_tiled_machine
 from ..core.resources import (
@@ -62,11 +71,13 @@ __all__ = [
     "default_cache",
     "reset_default_cache",
     "frontend_key",
+    "scaling_key",
     "compute_frontend",
     "compute_layout",
     "compute_braid",
     "compute_simd",
     "compute_epr",
+    "compute_scaling",
     "compute_accounting",
     "run_point",
 ]
@@ -293,6 +304,62 @@ def compute_epr(
     )
 
 
+def scaling_key(
+    app: str, sizes: Optional[Sequence[int]] = None
+) -> StageKey:
+    """Key of one scaling-model fit: app + explicit calibration sizes."""
+    name = get_app(app).name
+    chosen = tuple(sizes) if sizes is not None else calibration_sizes(name)
+    return StageKey.make("scaling", app=name, sizes=chosen)
+
+
+def compute_scaling(
+    cache: StageCache,
+    app: str,
+    sizes: Optional[Sequence[int]] = None,
+) -> AppScalingModel:
+    """Fit (or revive) the power-law scaling model for one application.
+
+    The model extrapolates qubit count and depth to the Figure 7-9
+    computation sizes.  Each calibration instance's compile+estimate is
+    its own ``scaling_calib`` stage keyed on ``(app, size)``, so two
+    fits over overlapping size lists — or repeated sweeps — compile
+    every instance at most once per cache (and never again once the
+    disk level holds it).
+    """
+    name = get_app(app).name
+    chosen = tuple(sizes) if sizes is not None else calibration_sizes(name)
+
+    def estimate_one(size: int) -> LogicalEstimate:
+        key = StageKey.make("scaling_calib", app=name, size=size)
+        return cache.get_or_compute(
+            key,
+            lambda: calibration_estimate(name, size),
+            to_jsonable=dataclasses.asdict,
+            from_jsonable=lambda payload: LogicalEstimate(**payload),
+        )
+
+    def fit() -> AppScalingModel:
+        return fit_scaling_model(
+            name, [estimate_one(size) for size in chosen]
+        )
+
+    return cache.get_or_compute(
+        scaling_key(name, chosen),
+        fit,
+        to_jsonable=dataclasses.asdict,
+        from_jsonable=lambda payload: AppScalingModel(
+            app_name=payload["app_name"],
+            qubits_vs_ops=PowerLaw(**payload["qubits_vs_ops"]),
+            depth_vs_ops=PowerLaw(**payload["depth_vs_ops"]),
+            parallelism_factor=payload["parallelism_factor"],
+            t_fraction=payload["t_fraction"],
+            two_qubit_fraction=payload["two_qubit_fraction"],
+            calibration_ops=tuple(payload["calibration_ops"]),
+        ),
+    )
+
+
 def compute_accounting(
     cache: StageCache,
     app: str,
@@ -303,6 +370,8 @@ def compute_accounting(
 ) -> AccountingResult:
     """Space-time accounting for both codes from calibrated inputs.
 
+    The scaling model arrives through the ``scaling`` stage, so its
+    calibration circuits compile once per app across a whole sweep.
     The analytic model consumes the measured braid congestion; the EPR
     stall overhead stays a reported metric (it is <= ~4% at the default
     window, Section 8.1) and does not enter the estimates.
@@ -318,7 +387,7 @@ def compute_accounting(
     )
 
     def estimate() -> AccountingResult:
-        scaling = calibrate(name)
+        scaling = compute_scaling(cache, name)
         planar = estimate_planar(scaling, computation_size, tech, constants)
         dd = estimate_double_defect(
             scaling,

@@ -1,0 +1,99 @@
+"""LRU bounding of the process-wide route-table registry."""
+
+import pytest
+
+from repro.network.routing import (
+    RouteTable,
+    route_table,
+    route_table_stats,
+    set_route_table_capacity,
+)
+
+# Shapes deliberately outside anything the app sweeps use, so these
+# tests neither disturb nor depend on other tests' cached tables.
+BASE = 90
+
+
+def shape(i: int) -> tuple[int, int]:
+    return (BASE + i, BASE + i)
+
+
+@pytest.fixture
+def small_capacity():
+    previous = set_route_table_capacity(3)
+    try:
+        yield 3
+    finally:
+        set_route_table_capacity(previous)
+
+
+class TestRouteTableLru:
+    def test_hit_returns_same_instance(self, small_capacity):
+        first = route_table(*shape(0))
+        assert route_table(*shape(0)) is first
+
+    def test_miss_creates_new_table(self, small_capacity):
+        a = route_table(*shape(1))
+        b = route_table(*shape(2))
+        assert a is not b
+        assert isinstance(a, RouteTable) and isinstance(b, RouteTable)
+
+    def test_capacity_bounds_resident_shapes(self, small_capacity):
+        for i in range(10):
+            route_table(*shape(i))
+        stats = route_table_stats()
+        assert stats["capacity"] == 3
+        assert len(stats["shapes"]) == 3
+
+    def test_least_recently_used_is_evicted(self, small_capacity):
+        t0 = route_table(*shape(0))
+        route_table(*shape(1))
+        route_table(*shape(2))
+        # Touch shape 0: it becomes most recent; shape 1 is now LRU.
+        assert route_table(*shape(0)) is t0
+        route_table(*shape(3))  # evicts shape 1
+        resident = route_table_stats()["shapes"]
+        assert (*shape(1), 4) not in resident
+        assert (*shape(0), 4) in resident
+        assert (*shape(3), 4) in resident
+        # Shape 0 survived the eviction: still the same instance.
+        assert route_table(*shape(0)) is t0
+        # Shape 1 was evicted: a fresh table is built on re-request.
+        rebuilt = route_table(*shape(1))
+        assert isinstance(rebuilt, RouteTable)
+
+    def test_mesh_shape_churn_stays_bounded(self, small_capacity):
+        for i in range(50):
+            table = route_table(*shape(i % 7))
+            # Tables stay functional regardless of eviction pressure.
+            path, mask = table.dor((0, 0), (1, 1))
+            assert path and mask
+        assert len(route_table_stats()["shapes"]) <= 3
+
+    def test_evicted_table_keeps_working_for_holders(self, small_capacity):
+        held = route_table(*shape(0))
+        for i in range(1, 5):  # push shape 0 out of the registry
+            route_table(*shape(i))
+        assert (*shape(0), 4) not in route_table_stats()["shapes"]
+        path, mask = held.dor((0, 0), (2, 3))
+        assert path[0] == (0, 0) and path[-1] == (2, 3) and mask
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            set_route_table_capacity(0)
+
+    def test_set_capacity_returns_previous(self):
+        previous = set_route_table_capacity(5)
+        try:
+            assert set_route_table_capacity(previous) == 5
+        finally:
+            set_route_table_capacity(previous)
+
+    def test_shrinking_capacity_evicts_immediately(self, small_capacity):
+        for i in range(3):
+            route_table(*shape(i))
+        previous = set_route_table_capacity(1)
+        try:
+            assert len(route_table_stats()["shapes"]) == 1
+        finally:
+            set_route_table_capacity(previous)

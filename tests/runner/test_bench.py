@@ -138,3 +138,86 @@ class TestCompareReports:
             _report(braid_speedup=None), _report()
         )
         assert failures and "braid_speedup" in failures[0]
+
+
+class TestAllStageGate:
+    """Every baseline stage is gated, not just braid_sim."""
+
+    def test_stage_ratio_normalizes_by_reference(self):
+        report = _report(stage_seconds={"braid_sim": 2.0, "accounting": 1.0})
+        assert report.stage_ratio("accounting") == pytest.approx(0.1)
+        assert report.stage_ratio("absent") == pytest.approx(0.0)
+
+    def test_stage_ratio_none_without_reference(self):
+        report = _report(reference_braid_seconds=None, braid_speedup=None)
+        assert report.stage_ratio("braid_sim") is None
+
+    def test_stage_regression_detected(self):
+        baseline = _report(
+            stage_seconds={"braid_sim": 2.0, "accounting": 1.0}
+        )
+        current = _report(
+            stage_seconds={"braid_sim": 2.0, "accounting": 3.0}
+        )
+        failures = compare_reports(current, baseline, tolerance=0.25)
+        assert failures and "accounting regressed" in failures[0]
+
+    def test_stage_within_tolerance_passes(self):
+        baseline = _report(
+            stage_seconds={"braid_sim": 2.0, "accounting": 1.0}
+        )
+        current = _report(
+            stage_seconds={"braid_sim": 2.0, "accounting": 1.1}
+        )
+        assert compare_reports(current, baseline, tolerance=0.25) == []
+
+    def test_millisecond_stage_protected_by_slack(self):
+        # 10ms -> 150ms is a 15x blowup but only ~1.4% of the
+        # reference yardstick: inside the additive slack, not flaky.
+        baseline = _report(
+            stage_seconds={"braid_sim": 2.0, "layout": 0.01}
+        )
+        current = _report(
+            stage_seconds={"braid_sim": 2.0, "layout": 0.15}
+        )
+        assert compare_reports(current, baseline, tolerance=0.25) == []
+        # A genuinely large blowup still fails.
+        blown = _report(stage_seconds={"braid_sim": 2.0, "layout": 0.6})
+        assert compare_reports(blown, baseline, tolerance=0.25)
+
+    def test_new_stage_not_gated_until_baseline_rerecorded(self):
+        baseline = _report(stage_seconds={"braid_sim": 2.0})
+        current = _report(
+            stage_seconds={"braid_sim": 2.0, "scaling": 99.0}
+        )
+        assert compare_reports(current, baseline) == []
+
+    def test_stage_missing_from_current_fails(self):
+        baseline = _report(
+            stage_seconds={"braid_sim": 2.0, "frontend": 1.0}
+        )
+        current = _report(stage_seconds={"braid_sim": 2.0})
+        failures = compare_reports(current, baseline)
+        assert failures and "frontend missing" in failures[0]
+
+    def test_absolute_mode_gates_every_stage(self):
+        baseline = _report(
+            stage_seconds={"braid_sim": 2.0, "accounting": 1.0}
+        )
+        current = _report(
+            stage_seconds={"braid_sim": 2.0, "accounting": 2.0}
+        )
+        failures = compare_reports(
+            current, baseline, tolerance=0.25, absolute=True
+        )
+        assert failures and "accounting regressed" in failures[0]
+
+    def test_absolute_slack_protects_tiny_stages(self):
+        baseline = _report(stage_seconds={"braid_sim": 2.0, "point": 0.01})
+        current = _report(stage_seconds={"braid_sim": 2.0, "point": 0.1})
+        assert (
+            compare_reports(
+                current, baseline, tolerance=0.25, absolute=True
+            )
+            == []
+        )

@@ -1,0 +1,114 @@
+"""The ``scaling`` / ``scaling_calib`` stages and their cache behavior."""
+
+import dataclasses
+
+import pytest
+
+from repro.apps.scaling import calibrate, calibration_sizes
+from repro.core.calibration import calibrate_app
+from repro.runner import StageCache, compute_scaling
+from repro.runner.stages import (
+    compute_accounting,
+    run_point,
+    scaling_key,
+    PointSpec,
+)
+from repro.tech import INTERMEDIATE
+
+APP = "sq"  # smallest calibration family; keeps these tests fast
+
+
+class TestComputeScaling:
+    @pytest.fixture(scope="class")
+    def cache(self):
+        return StageCache()
+
+    def test_matches_direct_calibration(self, cache):
+        staged = compute_scaling(cache, APP)
+        direct = calibrate(APP, use_cache=False)
+        assert staged == direct
+
+    def test_fit_and_compiles_are_cached(self, cache):
+        compute_scaling(cache, APP)
+        misses_before = dict(cache.stats.misses)
+        compute_scaling(cache, APP)
+        assert cache.stats.misses == misses_before  # everything reused
+        assert cache.stats.hits.get("scaling", 0) >= 1
+
+    def test_overlapping_sizes_share_per_size_compiles(self, cache):
+        compute_scaling(cache, APP)
+        calib_misses = cache.stats.misses.get("scaling_calib", 0)
+        subset = calibration_sizes(APP)[:2]
+        compute_scaling(cache, APP, sizes=subset)
+        # A new fit (different key) but zero new calibration compiles.
+        assert cache.stats.misses.get("scaling_calib", 0) == calib_misses
+        assert cache.stats.misses.get("scaling", 0) >= 2
+
+    def test_key_includes_resolved_sizes(self):
+        default = scaling_key(APP)
+        explicit = scaling_key(APP, calibration_sizes(APP))
+        assert default == explicit
+        assert default != scaling_key(APP, calibration_sizes(APP)[:2])
+
+    def test_disk_round_trip(self, tmp_path):
+        disk = tmp_path / "cache"
+        first = StageCache(disk)
+        model = compute_scaling(first, APP)
+        revived_cache = StageCache(disk)
+        revived = compute_scaling(revived_cache, APP)
+        assert revived == model
+        assert revived_cache.stats.disk_hits.get("scaling") == 1
+        # The fit revived whole; no per-size compile was touched.
+        assert revived_cache.stats.misses.get("scaling_calib", 0) == 0
+
+    def test_calibrate_cache_kwarg_routes_through_stages(self, tmp_path):
+        cache = StageCache(tmp_path / "cache")
+        model = calibrate(APP, cache=cache)
+        assert cache.stats.misses.get("scaling") == 1
+        assert model == compute_scaling(cache, APP)
+
+
+class TestScalingInThePipeline:
+    def test_accounting_reuses_one_scaling_fit(self):
+        cache = StageCache()
+        for congestion in (1.0, 1.5, 2.0):
+            compute_accounting(
+                cache, APP, 1e10, INTERMEDIATE, congestion=congestion
+            )
+        assert cache.stats.misses.get("scaling", 0) == 1
+        assert cache.stats.misses.get("accounting", 0) == 3
+
+    def test_scaling_self_time_recorded(self):
+        cache = StageCache()
+        run_point(PointSpec(app=APP, size=2, distance=3), cache)
+        seconds = cache.stats.seconds
+        assert "scaling" in seconds
+        assert "scaling_calib" in seconds
+        # Self-time attribution: the accounting row no longer absorbs
+        # the calibration compiles.
+        assert seconds["accounting"] < seconds["scaling_calib"] + 1.0
+        assert "scaling" in cache.stats.summary()
+
+    def test_calibrate_app_shares_the_stage_cache(self):
+        cache = StageCache()
+        compute_scaling(cache, APP)
+        misses = dict(cache.stats.misses)
+        cal = calibrate_app(APP, policy=6, distance=3, cache=cache)
+        assert cache.stats.misses.get("scaling", 0) == misses.get(
+            "scaling", 0
+        )  # the fit was served from the stage cache
+        assert cal.scaling == compute_scaling(cache, APP)
+
+    def test_point_results_unchanged_by_staging(self):
+        # The staged fit must be numerically identical to the direct
+        # calibration the accounting stage used before.
+        cache = StageCache()
+        point = run_point(PointSpec(app=APP, size=2, distance=3), cache)
+        direct = calibrate(APP, use_cache=False)
+        staged = compute_scaling(cache, APP)
+        assert staged == direct
+        assert point.planar.spacetime > 0
+        assert (
+            dataclasses.asdict(staged)["qubits_vs_ops"]
+            == dataclasses.asdict(direct)["qubits_vs_ops"]
+        )

@@ -1,0 +1,57 @@
+"""Documentation health: links resolve, code blocks doctest clean.
+
+The CI docs job runs this module plus ``python -m doctest`` over the
+markdown files; keeping the checks in the test suite means local
+``pytest`` catches a broken link or stale example before CI does.
+"""
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = sorted(
+    [REPO / "README.md", *(REPO / "docs").glob("*.md")],
+    key=lambda p: p.name,
+)
+
+LINK = re.compile(r"\[[^\]]+\]\(([^)#]+)(#[^)]*)?\)")
+
+
+def _relative_links(path: Path):
+    for match in LINK.finditer(path.read_text(encoding="utf-8")):
+        target = match.group(1).strip()
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        yield target
+
+
+@pytest.mark.parametrize("doc", DOCS, ids=lambda p: p.name)
+def test_relative_links_resolve(doc):
+    missing = [
+        target
+        for target in _relative_links(doc)
+        if not (doc.parent / target).exists()
+    ]
+    assert not missing, f"{doc.name}: broken links {missing}"
+
+
+@pytest.mark.parametrize(
+    "doc",
+    [p for p in DOCS if ">>>" in p.read_text(encoding="utf-8")],
+    ids=lambda p: p.name,
+)
+def test_doc_examples_doctest_clean(doc):
+    results = doctest.testfile(
+        str(doc), module_relative=False, verbose=False
+    )
+    assert results.failed == 0, f"{doc.name}: {results.failed} failures"
+    assert results.attempted > 0
+
+
+def test_readme_points_at_docs():
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    assert "docs/ARCHITECTURE.md" in readme
+    assert "docs/PERFORMANCE.md" in readme
