@@ -20,8 +20,9 @@ from ..partition.layout import GridShape, Placement, grid_for, naive_layout, opt
 from ..qasm.circuit import Circuit
 from ..qasm.dag import CircuitDag
 from ..qec.codes import DOUBLE_DEFECT, SurfaceCode
-from ..network.braidsim import BraidSimConfig, BraidSimResult, simulate_braids
+from ..network.braidsim import BraidSimConfig, BraidSimResult, simulate_plan
 from ..network.mesh import BraidMesh, Router
+from ..network.plan import BraidPlan, braid_plan
 from ..network.policies import Policy
 
 __all__ = ["TiledMachine", "build_tiled_machine"]
@@ -66,26 +67,54 @@ class TiledMachine:
             distance
         )
 
+    def plan(
+        self,
+        distance: int,
+        config: Optional[BraidSimConfig] = None,
+        dag: Optional[CircuitDag] = None,
+    ) -> BraidPlan:
+        """Policy-independent simulation plan, memoized per machine.
+
+        All seven Figure 6 policies of one (machine, distance) point
+        share a single plan build through the process-wide memo in
+        :mod:`repro.network.plan`.
+        """
+        config = config or BraidSimConfig()
+        mesh = BraidMesh(self.grid.rows, self.grid.cols)
+        return braid_plan(
+            self.circuit,
+            self.placement,
+            mesh,
+            self.code,
+            distance,
+            self.factory_routers,
+            max_detour=config.max_detour,
+            dag=dag,
+        )
+
     def simulate(
         self,
         policy: Policy | int,
         distance: int,
         config: Optional[BraidSimConfig] = None,
         dag: Optional[CircuitDag] = None,
+        plan: Optional[BraidPlan] = None,
     ) -> BraidSimResult:
-        """Run the braid schedule simulation on this machine."""
-        mesh = BraidMesh(self.grid.rows, self.grid.cols)
-        return simulate_braids(
-            self.circuit,
-            self.placement,
-            mesh,
-            policy,
-            distance,
-            code=self.code,
-            factory_routers=self.factory_routers,
-            config=config,
-            dag=dag,
-        )
+        """Run the braid schedule simulation on this machine.
+
+        Routes through :meth:`plan`'s memo, so repeated simulations of
+        the same (machine, distance) under different policies reuse one
+        precompiled plan.  An explicitly passed ``plan`` must match
+        ``distance`` (plans bake the stabilization hold in).
+        """
+        if plan is None:
+            plan = self.plan(distance, config, dag)
+        elif plan.distance != distance:
+            raise ValueError(
+                f"plan was compiled for distance={plan.distance}, "
+                f"simulate was asked for distance={distance}"
+            )
+        return simulate_plan(plan, policy, config=config)
 
 
 def _ring_sites(grid: GridShape) -> list[tuple[int, int]]:

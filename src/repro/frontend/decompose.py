@@ -63,26 +63,40 @@ def decompose_circuit(
 
     Fences are preserved at their original positions (remapped to the
     expanded operation indices).
+
+    The expansion streams into one flat operation list — non-composite
+    operations pass through untouched, composite ones extend by their
+    (memoized) expansion tuples — and the output circuit adopts the
+    list via the trusted bulk constructor.  Lowering never introduces
+    new qubits, so the per-operation implicit registration of
+    ``Circuit.append`` is pure overhead on circuits of this size.
     """
     config = config or DecomposeConfig()
-    out = Circuit(circuit.name, qubits=circuit.qubits)
+    ops: list[Operation] = []
+    append = ops.append
+    extend = ops.extend
+    out_fences: list[tuple[int, tuple[str, ...]]] = []
     fences = sorted(circuit.fences)
+    num_fences = len(fences)
     fence_cursor = 0
     for index, op in enumerate(circuit):
-        while fence_cursor < len(fences) and fences[fence_cursor][0] <= index:
-            out.add_fence(fences[fence_cursor][1])
+        while fence_cursor < num_fences and fences[fence_cursor][0] <= index:
+            out_fences.append((len(ops), fences[fence_cursor][1]))
             fence_cursor += 1
-        for lowered in _lower(op, config):
-            out.append(lowered)
-    while fence_cursor < len(fences):
-        out.add_fence(fences[fence_cursor][1])
+        if op.spec.is_composite:
+            extend(_lower(op, config))
+        else:
+            append(op)
+    while fence_cursor < num_fences:
+        out_fences.append((len(ops), fences[fence_cursor][1]))
         fence_cursor += 1
-    return out
+    return Circuit.from_operations(
+        circuit.name, circuit.qubits, ops, out_fences
+    )
 
 
 def _lower(op: Operation, config: DecomposeConfig) -> Sequence[Operation]:
-    if not op.spec.is_composite:
-        return (op,)
+    """Expansion of one composite operation (callers check the kind)."""
     if op.gate == "TOFFOLI":
         return _toffoli(*op.qubits)
     if op.gate == "FREDKIN":

@@ -66,10 +66,15 @@ class Module:
                 "parameters and locals"
             )
         self.body: list[Statement] = []
+        # Declarations are fixed at construction; the frozen lookup set
+        # makes the per-statement operand checks O(1) instead of
+        # rebuilding a set per operand (module builders apply tens of
+        # thousands of gates on the larger workloads).
+        self._declared = frozenset(self.parameters) | frozenset(self.locals_)
 
     @property
     def declared_names(self) -> set[str]:
-        return set(self.parameters) | set(self.locals_)
+        return set(self._declared)
 
     def apply(self, gate: str, *qubits: str, param: float | None = None) -> None:
         """Append a gate, checking operands are declared."""
@@ -82,11 +87,12 @@ class Module:
         self.body.append(Call(callee, tuple(arguments)))
 
     def _check_names(self, names: Iterable[str]) -> None:
-        unknown = [n for n in names if n not in self.declared_names]
+        declared = self._declared
+        unknown = [n for n in names if n not in declared]
         if unknown:
             raise ValueError(
                 f"module {self.name}: undeclared qubit(s) {unknown}; "
-                f"declared: {sorted(self.declared_names)}"
+                f"declared: {sorted(declared)}"
             )
 
     def __repr__(self) -> str:

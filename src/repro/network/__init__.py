@@ -9,6 +9,7 @@ from .braidsim import (
     BraidSimResult,
     BraidSimulator,
     simulate_braids,
+    simulate_plan,
 )
 from .epr import (
     EprDemand,
@@ -19,6 +20,7 @@ from .epr import (
 )
 from .events import BraidSegment, OpTask, build_tasks
 from .mesh import BraidMesh, manhattan, path_links
+from .plan import BraidPlan, braid_plan, plan_memo_stats, reset_plan_memo
 from .policies import ALL_POLICIES, POLICIES, Policy
 from .routing import (
     ROUTE_TABLE_CAPACITY,
@@ -48,7 +50,12 @@ __all__ = [
     "BraidSimConfig",
     "BraidSimResult",
     "BraidSimulator",
+    "BraidPlan",
+    "braid_plan",
+    "plan_memo_stats",
+    "reset_plan_memo",
     "simulate_braids",
+    "simulate_plan",
     "ReferenceBraidSimulator",
     "simulate_braids_reference",
     "RouteTable",

@@ -15,7 +15,11 @@ the active policy, and an open attempted before a same-cycle close sees
 the link as busy (which is exactly what close-first prioritization
 exploits).
 
-The inner loop runs on flat data structures:
+The inner loop runs on flat data structures, and everything that does
+not depend on the scheduling policy — tasks, dominant routes and link
+masks, DAG arrays, the critical path — is precompiled into an immutable
+:class:`~repro.network.plan.BraidPlan`, built once per design point and
+shared by all seven policy simulations (see :mod:`repro.network.plan`):
 
 * heap entries are single ints (``time << 34 | seq``) with a side list
   mapping ``seq`` to the event's kind and operation;
@@ -50,12 +54,18 @@ from ..partition.layout import Placement
 from ..qasm.circuit import Circuit
 from ..qasm.dag import CircuitDag
 from ..qec.codes import DOUBLE_DEFECT, SurfaceCode
-from .events import OpTask, build_tasks
+from .events import OpTask
 from .mesh import BraidMesh, Router
+from .plan import DEFAULT_MAX_DETOUR, BraidPlan, braid_plan
 from .policies import POLICIES, Policy
-from .routing import route_table
 
-__all__ = ["BraidSimConfig", "BraidSimResult", "BraidSimulator", "simulate_braids"]
+__all__ = [
+    "BraidSimConfig",
+    "BraidSimResult",
+    "BraidSimulator",
+    "simulate_braids",
+    "simulate_plan",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -73,7 +83,7 @@ class BraidSimConfig:
 
     adaptive_timeout: int = 2
     drop_timeout: int = 12
-    max_detour: int = 4
+    max_detour: int = DEFAULT_MAX_DETOUR
     max_cycles: int = 200_000_000
 
     def __post_init__(self) -> None:
@@ -263,38 +273,76 @@ _SEQ_MASK = _SEQ_LIMIT - 1
 class BraidSimulator:
     """Single-run braid schedule simulator.
 
-    Use :func:`simulate_braids` for the common path; instantiate
-    directly to inspect internals or inject custom tasks.
+    Use :func:`simulate_braids` for the common path (it memoizes the
+    policy-independent :class:`~repro.network.plan.BraidPlan` per
+    design point), :func:`simulate_plan` to run several policies from
+    one prebuilt plan, and instantiate directly to inspect internals
+    or inject custom tasks.
     """
 
     def __init__(
         self,
-        circuit: Circuit,
-        placement: Placement,
-        mesh: BraidMesh,
-        policy: Policy,
-        distance: int,
+        circuit: Optional[Circuit] = None,
+        placement: Optional[Placement] = None,
+        mesh: Optional[BraidMesh] = None,
+        policy: Optional[Policy] = None,
+        distance: Optional[int] = None,
         code: SurfaceCode = DOUBLE_DEFECT,
         factory_routers: tuple[Router, ...] = (),
         config: Optional[BraidSimConfig] = None,
         dag: Optional[CircuitDag] = None,
         tasks: Optional[list[OpTask]] = None,
+        plan: Optional[BraidPlan] = None,
     ) -> None:
-        self.circuit = circuit
-        self.mesh = mesh
-        self.policy = policy
+        if policy is None:
+            raise TypeError("BraidSimulator requires a policy")
         self.config = config or BraidSimConfig()
-        self.dag = dag or CircuitDag(circuit)
-        self.tasks = tasks if tasks is not None else build_tasks(
-            circuit, placement, mesh, code, distance, factory_routers
+        if plan is None:
+            if circuit is None or placement is None or mesh is None or (
+                distance is None
+            ):
+                raise TypeError(
+                    "BraidSimulator needs either a plan or "
+                    "(circuit, placement, mesh, distance)"
+                )
+            plan = BraidPlan.build(
+                circuit,
+                placement,
+                mesh,
+                code,
+                distance,
+                factory_routers,
+                max_detour=self.config.max_detour,
+                dag=dag,
+                tasks=tasks,
+            )
+        elif plan.max_detour != self.config.max_detour:
+            raise ValueError(
+                f"plan was compiled with max_detour={plan.max_detour}, "
+                f"config wants {self.config.max_detour}"
+            )
+        elif distance is not None and distance != plan.distance:
+            raise ValueError(
+                f"plan was compiled for distance={plan.distance}, "
+                f"got distance={distance}; build a plan per distance"
+            )
+        self.plan = plan
+        self.circuit = plan.circuit
+        self.dag = plan.dag
+        self.tasks = plan.tasks
+        # The mesh is the only mutable run-time structure shared with
+        # callers: reuse a provided one, else make a fresh empty mesh.
+        self.mesh = mesh if mesh is not None else BraidMesh(
+            plan.rows, plan.cols
         )
-        self.num_ops = len(self.tasks)
+        self.policy = policy
+        self.num_ops = plan.num_ops
         n = self.num_ops
 
         self._phase = [_WAITING] * n
         self._segment_index = [0] * n
-        self._remaining_preds = [self.dag.in_degree(i) for i in range(n)]
-        self._successors = [self.dag.successors(i) for i in range(n)]
+        self._remaining_preds = list(plan.in_degrees)  # mutable copy
+        self._successors = plan.successors  # shared, read-only
         self._wait_start = [0] * n
         self._arrival = [0] * n
         self._arrival_counter = itertools.count()
@@ -316,32 +364,20 @@ class BraidSimulator:
         self._drops = 0
         self._p0_head = 0  # policy-0 program-order cursor
 
-        # Flat per-op scheduling keys, fetched once.  Criticality is
-        # only materialized for policies that rank by it (the DAG's
-        # lazy descendant counts are shared across simulations).
-        self._is_braid = [task.is_braid for task in self.tasks]
-        self._route_length = [
-            task.route_length if task.is_braid else 0 for task in self.tasks
-        ]
+        # Flat per-op scheduling keys, shared read-only from the plan.
+        # Criticality is only materialized for policies that rank by it
+        # (the DAG's lazy descendant counts are shared across plans).
+        self._is_braid = plan.is_braid
+        self._route_length = plan.route_length
         if policy.use_criticality or policy.combined_length_rule:
-            self._criticality = [self.dag.criticality(i) for i in range(n)]
+            self._criticality = plan.criticality()
         else:
             self._criticality = []
 
         # Per-op, per-segment route handles: (src, dst, hold, min_len,
-        # dor_path, dor_mask), resolved through the shared route table.
-        routes = route_table(mesh.rows, mesh.cols, self.config.max_detour)
-        self._routes = routes
-        self._segments: list[tuple] = []
-        for task in self.tasks:
-            infos = []
-            for seg in task.segments:
-                dor_path, dor_mask = routes.dor(seg.src, seg.dst)
-                infos.append(
-                    (seg.src, seg.dst, seg.hold, seg.min_length,
-                     dor_path, dor_mask)
-                )
-            self._segments.append(tuple(infos))
+        # dor_path, dor_mask), prebound through the shared route table.
+        self._routes = plan.routes
+        self._segments = plan.segments
 
         # Blocked-open memo: the mesh epoch at which this op's last
         # route search failed, and whether that search was adaptive.
@@ -369,7 +405,7 @@ class BraidSimulator:
     # -- public API ---------------------------------------------------------
 
     def run(self) -> BraidSimResult:
-        for op in self.dag.sources():
+        for op in self.plan.sources:
             self._make_ready(op, time=0)
         self._schedule_event(0, _WAKE, -1)
         events = self._events
@@ -399,7 +435,7 @@ class BraidSimulator:
                 f"unfinished operations (first: {unfinished[:5]}); this "
                 "is a simulator bug"
             )
-        critical = self._critical_path()
+        critical = self.plan.critical_path
         total_time = max(self._completion_time, 1)
         return BraidSimResult(
             schedule_length=self._completion_time,
@@ -414,15 +450,6 @@ class BraidSimulator:
         )
 
     # -- internals ------------------------------------------------------------
-
-    def _critical_path(self) -> int:
-        finish = [0] * self.num_ops
-        for index in range(self.num_ops):
-            start = 0
-            for pred in self.dag.predecessors(index):
-                start = max(start, finish[pred])
-            finish[index] = start + self.tasks[index].busy_cycles
-        return max(finish, default=0)
 
     def _integrate_busy(self, now: int) -> None:
         if now > self._last_time:
@@ -682,15 +709,33 @@ def simulate_braids(
     """
     if isinstance(policy, int):
         policy = POLICIES[policy]
-    sim = BraidSimulator(
+    config = config or BraidSimConfig()
+    plan = braid_plan(
         circuit,
         placement,
         mesh,
-        policy,
+        code,
         distance,
-        code=code,
-        factory_routers=factory_routers,
-        config=config,
+        factory_routers,
+        max_detour=config.max_detour,
         dag=dag,
     )
-    return sim.run()
+    return BraidSimulator(
+        policy=policy, config=config, plan=plan, mesh=mesh
+    ).run()
+
+
+def simulate_plan(
+    plan: BraidPlan,
+    policy: Policy | int,
+    config: Optional[BraidSimConfig] = None,
+) -> BraidSimResult:
+    """Simulate one policy from a prebuilt (shared) plan.
+
+    The plan is read-only: callers can run all seven policies from the
+    same plan, concurrently or in sequence, and each simulation gets
+    fresh mutable state (mesh occupancy, phases, event heap).
+    """
+    if isinstance(policy, int):
+        policy = POLICIES[policy]
+    return BraidSimulator(policy=policy, config=config, plan=plan).run()

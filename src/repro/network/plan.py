@@ -1,0 +1,270 @@
+"""Precompiled braid simulation plans, shared across scheduling policies.
+
+The Figure 6 methodology runs the *same* compiled circuit under all
+seven scheduling policies.  Everything the braid simulator prepares
+that does not depend on the policy — the network tasks from
+:func:`~repro.network.events.build_tasks` (including the per-site
+nearest-factory resolution), the per-segment dominant route and link
+mask bound from the shared :class:`~repro.network.routing.RouteTable`,
+the dependence DAG's in-degrees/successor tuples, the policy-independent
+critical path, and the lazily materialized criticality array — used to
+be rebuilt by ``BraidSimulator.__init__`` once *per policy point*.
+
+A :class:`BraidPlan` packages all of it, built once per
+``(circuit, placement, mesh shape, code, distance, max_detour)`` and
+reused by every simulation of that design point.  Plans are immutable:
+simulators copy the one mutable seed (`in_degrees`) and treat every
+other field as read-only, which the mutation-guard tests enforce by
+hashing a shared plan's arrays across simulations.
+
+:func:`braid_plan` is the process-wide memo.  Like the route-table
+registry it is LRU-bounded (:data:`PLAN_MEMO_CAPACITY` plans), so a
+long-lived service sweeping many design points retains a bounded
+working set; every hit validates circuit/placement/code *identity*
+against the stored plan (an entry keeps its objects alive, so an id
+can only match the object it was recorded for) plus the circuit's
+length, so a circuit mutated after planning fails loudly instead of
+replaying a stale plan.  Hit/build counters are exposed through
+:func:`plan_memo_stats`, next to
+:func:`~repro.network.routing.route_table_stats`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from ..partition.layout import Placement
+from ..qasm.circuit import Circuit
+from ..qasm.dag import CircuitDag
+from ..qec.codes import DOUBLE_DEFECT, SurfaceCode
+from .events import OpTask, build_tasks
+from .mesh import BraidMesh, Router
+from .routing import RouteTable, route_table
+
+__all__ = [
+    "DEFAULT_MAX_DETOUR",
+    "BraidPlan",
+    "braid_plan",
+    "plan_memo_stats",
+    "reset_plan_memo",
+]
+
+DEFAULT_MAX_DETOUR = 4
+"""Staircase detour radius shared by ``BraidSimConfig`` and plan builds."""
+
+
+class BraidPlan:
+    """Immutable, policy-independent simulation plan for one design point.
+
+    Attributes:
+        circuit: The flat Clifford+T program.
+        placement: Data-qubit placement the tasks were resolved against.
+        code: Surface code used for local-op latencies.
+        distance: Code distance d (braid stabilization hold).
+        rows / cols: Mesh tile shape the routes were compiled for.
+        max_detour: Adaptive-routing detour radius of :attr:`routes`.
+        dag: The dependence DAG (owner of the lazy criticality array).
+        tasks: One :class:`~repro.network.events.OpTask` per operation.
+        is_braid: Per-op braid flag.
+        route_length: Per-op minimal total route length (policy metric).
+        segments: Per-op tuples of ``(src, dst, hold, min_len, dor_path,
+            dor_mask)``, dominant route prebound from :attr:`routes`.
+        in_degrees: Per-op predecessor counts (simulators copy this).
+        successors: Per-op successor index tuples.
+        sources: Initially-ready operation indices.
+        critical_path: Dependence-limited schedule lower bound (cycles).
+        routes: The shared :class:`RouteTable` for adaptive alternatives.
+
+    Treat every field as read-only; plans are shared across simulations.
+    """
+
+    __slots__ = (
+        "circuit", "placement", "code", "distance", "factory_routers",
+        "rows", "cols", "max_detour", "dag", "tasks", "num_ops",
+        "is_braid", "route_length", "segments", "in_degrees",
+        "successors", "sources", "critical_path", "routes",
+    )
+
+    def __init__(self, **fields: object) -> None:
+        for name in self.__slots__:
+            object.__setattr__(self, name, fields[name])
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("BraidPlan is immutable")
+
+    @classmethod
+    def build(
+        cls,
+        circuit: Circuit,
+        placement: Placement,
+        mesh: BraidMesh,
+        code: SurfaceCode = DOUBLE_DEFECT,
+        distance: int = 5,
+        factory_routers: tuple[Router, ...] = (),
+        max_detour: int = DEFAULT_MAX_DETOUR,
+        dag: Optional[CircuitDag] = None,
+        tasks: Optional[list[OpTask]] = None,
+    ) -> "BraidPlan":
+        """Compile one plan (no memoization; see :func:`braid_plan`)."""
+        if tasks is None:
+            tasks = build_tasks(
+                circuit, placement, mesh, code, distance, factory_routers
+            )
+        tasks = tuple(tasks)
+        dag = dag or CircuitDag(circuit)
+        n = len(tasks)
+        successors = dag.successor_tuples()[:n] if n else ()
+        in_degrees = tuple(dag.in_degrees()[:n])
+        routes: RouteTable = route_table(mesh.rows, mesh.cols, max_detour)
+        is_braid = tuple(task.is_braid for task in tasks)
+        route_length = tuple(
+            task.route_length if task.is_braid else 0 for task in tasks
+        )
+        segments = []
+        for task in tasks:
+            infos = []
+            for seg in task.segments:
+                dor_path, dor_mask = routes.dor(seg.src, seg.dst)
+                infos.append(
+                    (seg.src, seg.dst, seg.hold, seg.min_length,
+                     dor_path, dor_mask)
+                )
+            segments.append(tuple(infos))
+        # Policy-independent critical path: forward ASAP recurrence over
+        # the task latencies (identical arithmetic to the per-policy
+        # loop it replaces, shared by all simulations of this plan).
+        start = [0] * n
+        critical = 0
+        for index in range(n):  # program order is topological
+            finish = start[index] + tasks[index].busy_cycles
+            if finish > critical:
+                critical = finish
+            for succ in successors[index]:
+                if finish > start[succ]:
+                    start[succ] = finish
+        return cls(
+            circuit=circuit,
+            placement=placement,
+            code=code,
+            distance=distance,
+            factory_routers=tuple(factory_routers),
+            rows=mesh.rows,
+            cols=mesh.cols,
+            max_detour=max_detour,
+            dag=dag,
+            tasks=tasks,
+            num_ops=n,
+            is_braid=is_braid,
+            route_length=route_length,
+            segments=tuple(segments),
+            in_degrees=in_degrees,
+            successors=successors,
+            sources=tuple(dag.sources()),
+            critical_path=critical,
+            routes=routes,
+        )
+
+    def criticality(self) -> list[int]:
+        """The shared per-op criticality array (lazy, owned by the DAG).
+
+        Materialized on the first simulation whose policy ranks by
+        criticality and shared read-only by every later one.
+        """
+        return self.dag.criticality_array()
+
+
+# ---------------------------------------------------------------------------
+# Process-wide plan memo
+
+PLAN_MEMO_CAPACITY = 32
+"""Bound on memoized plans (a Figure 6 sweep needs 8 live at once)."""
+
+_PLAN_MEMO: "OrderedDict[tuple, BraidPlan]" = OrderedDict()
+_PLAN_BUILDS = 0
+_PLAN_HITS = 0
+
+
+def braid_plan(
+    circuit: Circuit,
+    placement: Placement,
+    mesh: BraidMesh,
+    code: SurfaceCode = DOUBLE_DEFECT,
+    distance: int = 5,
+    factory_routers: tuple[Router, ...] = (),
+    max_detour: int = DEFAULT_MAX_DETOUR,
+    dag: Optional[CircuitDag] = None,
+) -> BraidPlan:
+    """Memoized :meth:`BraidPlan.build` for the common simulation path.
+
+    Keys on the circuit/placement/code identities plus the remaining
+    value parameters, so the seven-policy Figure 6 sweep builds one
+    plan per (app, size, layout, distance) and every other policy
+    point is a memo hit.  The memo is an LRU bounded by
+    :data:`PLAN_MEMO_CAPACITY` (the same discipline as the route-table
+    registry): an entry keeps its circuit/placement/code alive, which
+    is exactly what makes the id-based key sound — a stored id can
+    only ever match the object it was recorded for — and eviction
+    only drops the registry's reference, never a plan in use.
+
+    A hit additionally checks the circuit's operation count against
+    the plan: cached plans assume the circuit is frozen (everything in
+    the staged pipeline is), and appending to a planned circuit would
+    otherwise silently replay the stale plan.
+
+    Raises:
+        ValueError: If the memoized circuit changed length since its
+            plan was built.
+    """
+    global _PLAN_BUILDS, _PLAN_HITS
+    key = (
+        id(circuit), id(placement), mesh.rows, mesh.cols, distance,
+        tuple(factory_routers), max_detour, id(code),
+    )
+    plan = _PLAN_MEMO.get(key)
+    if (
+        plan is not None
+        and plan.circuit is circuit
+        and plan.placement is placement
+        and plan.code is code
+    ):
+        if plan.num_ops != len(circuit):
+            raise ValueError(
+                f"circuit {circuit.name!r} changed length "
+                f"({plan.num_ops} -> {len(circuit)}) after its braid "
+                "plan was built; planned circuits must not be mutated"
+            )
+        _PLAN_HITS += 1
+        _PLAN_MEMO.move_to_end(key)
+        return plan
+    plan = BraidPlan.build(
+        circuit, placement, mesh, code, distance,
+        factory_routers, max_detour, dag=dag,
+    )
+    _PLAN_MEMO[key] = plan
+    _PLAN_BUILDS += 1
+    while len(_PLAN_MEMO) > PLAN_MEMO_CAPACITY:
+        _PLAN_MEMO.popitem(last=False)
+    return plan
+
+
+def plan_memo_stats() -> dict[str, int]:
+    """Plan-memo counters (reported next to ``route_table_stats``).
+
+    ``builds`` counts actual plan compilations, ``hits`` memo reuses;
+    ``plans`` is the live entry count, bounded by ``capacity``.
+    """
+    return {
+        "builds": _PLAN_BUILDS,
+        "hits": _PLAN_HITS,
+        "plans": len(_PLAN_MEMO),
+        "capacity": PLAN_MEMO_CAPACITY,
+    }
+
+
+def reset_plan_memo() -> None:
+    """Drop all memoized plans and zero the counters (testing hook)."""
+    global _PLAN_BUILDS, _PLAN_HITS
+    _PLAN_MEMO.clear()
+    _PLAN_BUILDS = 0
+    _PLAN_HITS = 0

@@ -62,6 +62,7 @@ class CircuitDag:
         )
         self._alap = self._compute_alap()
         self._descendant_counts: Optional[list[int]] = None  # lazy
+        self._successor_tuples: Optional[tuple[tuple[int, ...], ...]] = None
 
     # -- construction ---------------------------------------------------------
 
@@ -165,6 +166,34 @@ class CircuitDag:
 
     def in_degree(self, index: int) -> int:
         return len(self._predecessors[index])
+
+    def in_degrees(self) -> list[int]:
+        """Fresh per-node in-degree list (callers may mutate their copy)."""
+        return [len(p) for p in self._predecessors]
+
+    def successor_tuples(self) -> tuple[tuple[int, ...], ...]:
+        """Immutable successor adjacency, built once and shared.
+
+        Consumers that only *read* edges (e.g. braid simulation plans)
+        index this directly instead of copying per-node lists through
+        :meth:`successors`.
+        """
+        if self._successor_tuples is None:
+            self._successor_tuples = tuple(
+                tuple(s) for s in self._successors
+            )
+        return self._successor_tuples
+
+    def criticality_array(self) -> list[int]:
+        """The full criticality vector, lazily computed and shared.
+
+        Treat the returned list as read-only: it is the DAG's own
+        cache, handed out so simulation plans can share one
+        materialization across every policy that ranks by criticality.
+        """
+        if self._descendant_counts is None:
+            self._descendant_counts = self._compute_descendant_counts()
+        return self._descendant_counts
 
     def sources(self) -> list[int]:
         """Operations with no dependencies (initially ready)."""

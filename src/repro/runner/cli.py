@@ -409,7 +409,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
     if report.braid_speedup is not None:
         print(
-            f"braid_sim: {report.braid_seconds:.2f}s optimized vs "
+            f"braid plan+sim: {report.braid_seconds:.2f}s optimized vs "
             f"{report.reference_braid_seconds:.2f}s reference "
             f"({report.braid_speedup:.2f}x)",
             file=sys.stderr,

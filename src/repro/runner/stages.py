@@ -4,13 +4,19 @@ The monolithic pipeline is split into explicit stages, each memoized
 through a :class:`~repro.runner.cache.StageCache` under a
 :class:`~repro.runner.keys.StageKey`:
 
-* ``frontend`` — flatten, decompose, DAG, logical estimate.
+* ``lowered`` — build + Clifford+T lowering of one instance (the only
+  stage persisting a whole circuit to disk, so cold processes with a
+  disk cache skip re-lowering).
+* ``frontend`` — lowered circuit + DAG + logical estimate.
 * ``layout`` — sized tiled (double-defect) machine with placement.
+* ``braid_plan`` — policy-independent simulation plan for one
+  (layout, distance): tasks, prebound routes, DAG arrays (shared by
+  all seven policy points of a design point).
 * ``braid_sim`` — braid network simulation for one (policy, distance).
 * ``simd_epr`` — Multi-SIMD schedule + pipelined EPR distribution.
 * ``scaling`` — power-law scaling model fitted from calibration
   instances (with each instance's compile cached under
-  ``scaling_calib``).
+  ``scaling_calib`` and its lowered circuit under ``lowered``).
 * ``accounting`` — planar/double-defect space-time estimates.
 
 Stage compute closures request their upstream stages *through the
@@ -29,7 +35,6 @@ from ..apps.registry import get_app
 from ..apps.scaling import (
     AppScalingModel,
     PowerLaw,
-    calibration_estimate,
     calibration_sizes,
     fit_scaling_model,
 )
@@ -45,7 +50,8 @@ from ..core.resources import (
 from ..frontend.decompose import decompose_circuit
 from ..frontend.estimate import LogicalEstimate, estimate_circuit
 from ..frontend.schedule import LogicalSchedule
-from ..network.braidsim import BraidSimResult
+from ..network.braidsim import BraidSimResult, simulate_plan
+from ..network.plan import BraidPlan
 from ..network.epr import EprPipelineResult
 from ..network.policies import POLICIES
 from ..qasm.circuit import Circuit
@@ -72,8 +78,10 @@ __all__ = [
     "reset_default_cache",
     "frontend_key",
     "scaling_key",
+    "compute_lowered",
     "compute_frontend",
     "compute_layout",
+    "compute_braid_plan",
     "compute_braid",
     "compute_simd",
     "compute_epr",
@@ -150,6 +158,49 @@ def frontend_key(
     )
 
 
+def compute_lowered(
+    cache: StageCache,
+    app: str,
+    size: Optional[int] = None,
+    inline_depth: Optional[int] = None,
+    scaling: bool = False,
+) -> Circuit:
+    """Build and lower one instance to a flat Clifford+T circuit.
+
+    With ``scaling=True`` the instance comes from the app's
+    *scaling-regime* family (``scaling_build``), the circuits the
+    calibration fits compile.  The lowered circuit — not just its
+    estimate — is persisted to the disk cache level, so a cold process
+    resuming a sweep (or recalibrating) revives the circuit instead of
+    re-running the builder and the decomposition on the largest
+    instances.
+    """
+    name, size = _resolve(app, size)
+    key = StageKey.make(
+        "lowered",
+        app=name,
+        size=size,
+        inline_depth=inline_depth,
+        scaling=scaling,
+    )
+
+    def build() -> Circuit:
+        spec = get_app(name)
+        base = (
+            spec.scaling_circuit(size)
+            if scaling
+            else spec.circuit(size, inline_depth=inline_depth)
+        )
+        return decompose_circuit(base)
+
+    return cache.get_or_compute(
+        key,
+        build,
+        to_jsonable=Circuit.to_jsonable,
+        from_jsonable=Circuit.from_jsonable,
+    )
+
+
 def compute_frontend(
     cache: StageCache,
     app: str,
@@ -160,10 +211,7 @@ def compute_frontend(
     name, size = _resolve(app, size)
 
     def build() -> FrontendArtifacts:
-        spec = get_app(name)
-        circuit = decompose_circuit(
-            spec.circuit(size, inline_depth=inline_depth)
-        )
+        circuit = compute_lowered(cache, name, size, inline_depth)
         dag = CircuitDag(circuit)
         logical = estimate_circuit(circuit, dag)
         return FrontendArtifacts(circuit=circuit, dag=dag, logical=logical)
@@ -171,9 +219,10 @@ def compute_frontend(
     return cache.get_or_compute(
         frontend_key(name, size, inline_depth),
         build,
-        # The live circuit/DAG stay memory-only; the logical estimate is
-        # persisted for cache inspection (nothing revives it -- reports
-        # read whole grid-point payloads instead).
+        # The live DAG stays memory-only; the lowered circuit persists
+        # under the nested ``lowered`` stage, and the logical estimate
+        # is persisted for cache inspection (nothing revives it --
+        # reports read whole grid-point payloads instead).
         to_jsonable=lambda fe: dataclasses.asdict(fe.logical),
     )
 
@@ -198,6 +247,43 @@ def compute_layout(
     def build() -> TiledMachine:
         fe = compute_frontend(cache, name, size, inline_depth)
         return build_tiled_machine(fe.circuit, optimize_layout=optimize_layout)
+
+    return cache.get_or_compute(key, build)
+
+
+def compute_braid_plan(
+    cache: StageCache,
+    app: str,
+    size: Optional[int] = None,
+    inline_depth: Optional[int] = None,
+    optimize_layout: bool = True,
+    distance: int = 5,
+) -> BraidPlan:
+    """Build (or reuse) the policy-independent braid simulation plan.
+
+    One plan serves every policy point of a (app, size, layout,
+    distance) design point: the sweep's seven-policy braid stage pays
+    for task building, route binding, and DAG array extraction exactly
+    once.  The stage is memory-only (plans hold live circuit/route
+    objects); its self time is what ``repro.runner.bench`` reports as
+    ``braid_plan``, separating plan builds from pure simulation time.
+    """
+    name, size = _resolve(app, size)
+    key = StageKey.make(
+        "braid_plan",
+        app=name,
+        size=size,
+        inline_depth=inline_depth,
+        optimize_layout=optimize_layout,
+        distance=distance,
+    )
+
+    def build() -> BraidPlan:
+        fe = compute_frontend(cache, name, size, inline_depth)
+        machine = compute_layout(
+            cache, name, size, inline_depth, optimize_layout
+        )
+        return machine.plan(distance, dag=fe.dag)
 
     return cache.get_or_compute(key, build)
 
@@ -236,11 +322,10 @@ def compute_braid(
     )
 
     def simulate() -> BraidSimResult:
-        fe = compute_frontend(cache, name, size, inline_depth)
-        machine = compute_layout(
-            cache, name, size, inline_depth, optimize_layout
+        plan = compute_braid_plan(
+            cache, name, size, inline_depth, optimize_layout, distance
         )
-        return machine.simulate(policy_obj, distance, dag=fe.dag)
+        return simulate_plan(plan, policy_obj)
 
     return cache.get_or_compute(
         key,
@@ -325,7 +410,11 @@ def compute_scaling(
     its own ``scaling_calib`` stage keyed on ``(app, size)``, so two
     fits over overlapping size lists — or repeated sweeps — compile
     every instance at most once per cache (and never again once the
-    disk level holds it).
+    disk level holds it).  The instance's lowered circuit itself goes
+    through the ``lowered`` stage (``scaling=True``), which persists it
+    to disk: even when only the estimate payloads have been pruned, a
+    cold recalibration revives the circuit instead of re-lowering the
+    largest instances.
     """
     name = get_app(app).name
     chosen = tuple(sizes) if sizes is not None else calibration_sizes(name)
@@ -334,7 +423,9 @@ def compute_scaling(
         key = StageKey.make("scaling_calib", app=name, size=size)
         return cache.get_or_compute(
             key,
-            lambda: calibration_estimate(name, size),
+            lambda: estimate_circuit(
+                compute_lowered(cache, name, size, scaling=True)
+            ),
             to_jsonable=dataclasses.asdict,
             from_jsonable=lambda payload: LogicalEstimate(**payload),
         )

@@ -221,3 +221,30 @@ class TestAllStageGate:
             )
             == []
         )
+
+
+class TestPlanBuildSplit:
+    """Plan builds are reported separately from pure simulation time."""
+
+    def test_braid_plan_split_in_report(self):
+        report = run_bench(TINY)
+        assert report.stage_seconds.get("braid_plan", 0) > 0
+        assert report.stage_seconds.get("braid_sim", 0) > 0
+        assert report.braid_seconds == pytest.approx(
+            report.stage_seconds["braid_sim"]
+            + report.stage_seconds["braid_plan"]
+        )
+
+    def test_plan_time_counted_in_speedup_not_ratio_gate(self):
+        baseline = _report(
+            stage_seconds={"braid_sim": 1.5, "braid_plan": 0.5}
+        )
+        # A plan blowup alone cannot slip past the gate: it lowers the
+        # measured speedup instead of hiding behind the ratio slack.
+        current = _report(
+            stage_seconds={"braid_sim": 1.5, "braid_plan": 3.0},
+            braid_speedup=10.0 / 4.5,
+        )
+        failures = compare_reports(current, baseline, tolerance=0.25)
+        assert failures and "speedup regressed" in failures[0]
+        assert all("braid_plan" not in f for f in failures)
