@@ -15,6 +15,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional
 
+from ..analysis.diagnostics import PlanMismatchError
 from ..partition.graph import interaction_graph_from_circuit
 from ..partition.layout import GridShape, Placement, grid_for, naive_layout, optimized_layout
 from ..qasm.circuit import Circuit
@@ -110,9 +111,10 @@ class TiledMachine:
         if plan is None:
             plan = self.plan(distance, config, dag)
         elif plan.distance != distance:
-            raise ValueError(
+            raise PlanMismatchError(
                 f"plan was compiled for distance={plan.distance}, "
-                f"simulate was asked for distance={distance}"
+                f"simulate was asked for distance={distance}",
+                artifact=f"plan for {self.circuit.name!r}",
             )
         return simulate_plan(plan, policy, config=config)
 

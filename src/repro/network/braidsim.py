@@ -50,6 +50,7 @@ import itertools
 from bisect import bisect_left, insort
 from typing import Optional
 
+from ..analysis.diagnostics import PlanMismatchError
 from ..partition.layout import Placement
 from ..qasm.circuit import Circuit
 from ..qasm.dag import CircuitDag
@@ -317,14 +318,16 @@ class BraidSimulator:
                 tasks=tasks,
             )
         elif plan.max_detour != self.config.max_detour:
-            raise ValueError(
+            raise PlanMismatchError(
                 f"plan was compiled with max_detour={plan.max_detour}, "
-                f"config wants {self.config.max_detour}"
+                f"config wants {self.config.max_detour}",
+                artifact=f"plan for {plan.circuit.name!r}",
             )
         elif distance is not None and distance != plan.distance:
-            raise ValueError(
+            raise PlanMismatchError(
                 f"plan was compiled for distance={plan.distance}, "
-                f"got distance={distance}; build a plan per distance"
+                f"got distance={distance}; build a plan per distance",
+                artifact=f"plan for {plan.circuit.name!r}",
             )
         self.plan = plan
         self.circuit = plan.circuit

@@ -34,6 +34,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional
 
+from ..analysis.diagnostics import PlanMismatchError
 from ..partition.layout import Placement
 from ..qasm.circuit import Circuit
 from ..qasm.dag import CircuitDag
@@ -213,8 +214,9 @@ def braid_plan(
     otherwise silently replay the stale plan.
 
     Raises:
-        ValueError: If the memoized circuit changed length since its
-            plan was built.
+        PlanMismatchError: If the memoized circuit changed length since
+            its plan was built (still a ``ValueError`` for existing
+            callers).
     """
     global _PLAN_BUILDS, _PLAN_HITS
     key = (
@@ -229,10 +231,11 @@ def braid_plan(
         and plan.code is code
     ):
         if plan.num_ops != len(circuit):
-            raise ValueError(
+            raise PlanMismatchError(
                 f"circuit {circuit.name!r} changed length "
                 f"({plan.num_ops} -> {len(circuit)}) after its braid "
-                "plan was built; planned circuits must not be mutated"
+                "plan was built; planned circuits must not be mutated",
+                artifact=f"plan for {circuit.name!r}",
             )
         _PLAN_HITS += 1
         _PLAN_MEMO.move_to_end(key)

@@ -16,7 +16,7 @@ resources not a constraint" (Table 2), i.e. total ops / ASAP depth.
 from __future__ import annotations
 
 from collections import Counter, deque
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from .circuit import Circuit, Operation
 
@@ -170,6 +170,17 @@ class CircuitDag:
     def in_degrees(self) -> list[int]:
         """Fresh per-node in-degree list (callers may mutate their copy)."""
         return [len(p) for p in self._predecessors]
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """All dependence edges as ``(op, successor)`` pairs.
+
+        Program-order construction makes every edge point forward
+        (``op < successor``) — the invariant the static verifier
+        re-checks per edge.
+        """
+        for index, succs in enumerate(self._successors):
+            for succ in succs:
+                yield (index, succ)
 
     def successor_tuples(self) -> tuple[tuple[int, ...], ...]:
         """Immutable successor adjacency, built once and shared.

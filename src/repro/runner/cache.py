@@ -18,7 +18,7 @@ import os
 import tempfile
 import time
 from pathlib import Path
-from typing import Any, Callable, Iterator, Optional
+from typing import Any, Callable, Iterator, Mapping, Optional
 
 from .keys import StageKey
 
@@ -136,6 +136,7 @@ class StageCache:
         compute: Callable[[], Any],
         to_jsonable: Optional[Callable[[Any], Any]] = None,
         from_jsonable: Optional[Callable[[Any], Any]] = None,
+        verify: Optional[Callable[[Any], None]] = None,
     ) -> Any:
         """Return the cached value for ``key``, computing on first use.
 
@@ -148,6 +149,11 @@ class StageCache:
                 computed value as JSON.
             from_jsonable: If given (with a disk level), revive a value
                 from a persisted payload instead of recomputing.
+            verify: Optional validator run over a freshly computed or
+                disk-revived value *before* it enters the memory cache
+                (raise to reject — e.g.
+                :func:`repro.analysis.verify.stage_verifier`).  Memory
+                hits are trusted: they were verified on the way in.
         """
         if key in self._memory:
             self.stats.record_hit(key.stage)
@@ -156,6 +162,8 @@ class StageCache:
             payload = self.load_payload(key)
             if payload is not None:
                 value = from_jsonable(payload)
+                if verify is not None:
+                    verify(value)
                 self._memory[key] = value
                 self.stats.record_disk_hit(key.stage)
                 return value
@@ -170,6 +178,8 @@ class StageCache:
             if self._child_seconds:
                 self._child_seconds[-1] += elapsed
             self.stats.record_seconds(key.stage, elapsed - nested)
+        if verify is not None:
+            verify(value)
         self._memory[key] = value
         if self.disk_dir is not None and to_jsonable is not None:
             self.store_payload(key, to_jsonable(value))
@@ -305,7 +315,12 @@ class StageCache:
                     continue
         return removed
 
-    def verify(self) -> dict[str, Any]:
+    def verify(
+        self,
+        payload_checks: Optional[
+            Mapping[str, Callable[[Any], None]]
+        ] = None,
+    ) -> dict[str, Any]:
         """Check disk payloads parse and match their digest filenames.
 
         Every record embeds its key's human-readable description;
@@ -313,13 +328,25 @@ class StageCache:
         digest the file is named after (canonical JSON is stable under
         a decode/re-encode round trip).  Returns per-problem lists so
         callers can report or re-prune.
+
+        Args:
+            payload_checks: Optional per-stage validators over the
+                decoded ``value`` payload (e.g.
+                :func:`repro.analysis.verify.lowered_payload_check`
+                for the ``lowered`` stage).  A raising validator marks
+                the entry ``invalid_payload`` — recorded and reported,
+                never propagated, so one corrupt entry doesn't hide
+                the rest.
         """
+        payload_checks = payload_checks or {}
         checked = 0
         ok = 0
         corrupt: list[str] = []
         stale_format: list[str] = []
         mismatched: list[str] = []
+        invalid_payload: list[dict[str, str]] = []
         for stage_dir in self._stage_dirs():
+            payload_check = payload_checks.get(stage_dir.name)
             for path in sorted(stage_dir.glob("*.json")):
                 checked += 1
                 try:
@@ -345,6 +372,14 @@ class StageCache:
                 ):
                     mismatched.append(str(path))
                     continue
+                if payload_check is not None:
+                    try:
+                        payload_check(record.get("value"))
+                    except Exception as error:
+                        invalid_payload.append(
+                            {"path": str(path), "error": str(error)}
+                        )
+                        continue
                 ok += 1
         return {
             "checked": checked,
@@ -352,6 +387,7 @@ class StageCache:
             "corrupt": corrupt,
             "stale_format": stale_format,
             "mismatched": mismatched,
+            "invalid_payload": invalid_payload,
         }
 
     def clear_memory(self) -> None:

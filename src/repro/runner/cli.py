@@ -12,7 +12,14 @@ Subcommands:
 * ``bench`` -- cold-cache stage-timing measurement through
   :mod:`repro.runner.bench`, with optional reference-simulator
   verification and a baseline regression gate.
-* ``cache`` -- stats / prune / verify for an on-disk stage cache.
+* ``cache`` -- stats / prune / verify for an on-disk stage cache
+  (``verify`` also round-trip-validates persisted ``lowered``
+  circuits and reports corrupt entries as diagnostics).
+* ``check`` -- static IR verification of every compiled artifact of a
+  sweep grid through :mod:`repro.analysis` (zero diagnostics on a
+  healthy build).
+* ``lint`` -- AST determinism/purity lint over source trees
+  (:mod:`repro.analysis.lint`); nonzero exit on any finding.
 """
 
 from __future__ import annotations
@@ -127,6 +134,14 @@ def _add_point_options(parser: argparse.ArgumentParser) -> None:
         "--cache-dir",
         default=None,
         help="on-disk JSON stage cache directory",
+    )
+    parser.add_argument(
+        "--verify-stages",
+        action="store_true",
+        help=(
+            "run the repro.analysis IR verifier over every compiled "
+            "stage artifact before it enters the cache"
+        ),
     )
 
 
@@ -268,6 +283,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="prune: restrict to one stage directory",
     )
 
+    check = sub.add_parser(
+        "check",
+        help="statically verify compiled IR artifacts (repro.analysis)",
+    )
+    check.add_argument(
+        "--grid",
+        choices=["fig6", "tiny"],
+        default="fig6",
+        help=(
+            "artifact grid: fig6 (4 apps, both layouts, d=5) or tiny "
+            "(3 small apps, CI-sized)"
+        ),
+    )
+    check.add_argument(
+        "--strict",
+        action="store_true",
+        help=(
+            "also emit advisory warnings (use-before-init, unused "
+            "qubits, factory balance)"
+        ),
+    )
+    check.add_argument(
+        "--cache-dir",
+        default=None,
+        help="stage cache to compile artifacts through",
+    )
+    check.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full report as JSON instead of one line per finding",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="determinism/purity lint over Python sources (AST-based)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="emit findings as JSON"
+    )
+
     report = sub.add_parser(
         "report", help="re-render a figure/table from cached results"
     )
@@ -293,11 +354,19 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _apply_stage_verification(args: argparse.Namespace) -> None:
+    if getattr(args, "verify_stages", False):
+        from .stages import set_stage_verification
+
+        set_stage_verification(True)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     error = _validate_names([args.app], [args.policy])
     if error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    _apply_stage_verification(args)
     spec = PointSpec(
         app=args.app,
         size=_parse_size(args.size, args.app),
@@ -328,6 +397,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    _apply_stage_verification(args)
     if args.preset == "fig6":
         # The preset defines the grid *shape*; point-level options
         # (--tech, --error-rate, --distance, ...) still apply.
@@ -462,18 +532,81 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         removed = cache.prune(older_than_seconds=seconds, stage=args.stage)
         print(f"pruned {removed} cache entries", file=sys.stderr)
         return 0
-    result = cache.verify()
+    from ..analysis.verify import lowered_payload_check
+
+    result = cache.verify(
+        payload_checks={"lowered": lowered_payload_check}
+    )
     print(json.dumps(result, indent=1))
     bad = (
         len(result["corrupt"])
         + len(result["stale_format"])
         + len(result["mismatched"])
+        + len(result["invalid_payload"])
     )
     if bad:
         print(f"{bad} problematic cache entries", file=sys.stderr)
         return 1
     print(f"all {result['ok']} entries verified", file=sys.stderr)
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from ..analysis.verify import check_grid
+    from .bench import bench_grid
+
+    grid = fig6_grid() if args.grid == "fig6" else bench_grid(args.grid)
+    cache = StageCache(args.cache_dir)
+    report = check_grid(
+        grid,
+        cache=cache,
+        strict=args.strict,
+        progress=lambda artifact: print(
+            f"checking {artifact}", file=sys.stderr
+        ),
+    )
+    if args.json:
+        print(json.dumps(report.to_jsonable(), indent=1))
+    else:
+        for diag in report.diagnostics:
+            print(diag.format())
+    print(
+        f"checked {report.artifacts_checked} artifact set(s) covering "
+        f"{report.points_checked} grid point(s): "
+        f"{len(report.diagnostics)} finding(s), "
+        f"{len(report.errors)} error(s)",
+        file=sys.stderr,
+    )
+    return 0 if report.ok else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from ..analysis.lint import lint_paths
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        import repro
+
+        paths = [Path(repro.__file__).parent]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    findings = lint_paths(paths)
+    if args.json:
+        print(json.dumps([f.to_jsonable() for f in findings], indent=1))
+    else:
+        for finding in findings:
+            print(finding.format())
+    print(
+        f"linted {', '.join(str(p) for p in paths)}: "
+        f"{len(findings)} finding(s)",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -536,6 +669,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_bench(args)
         if args.command == "cache":
             return _cmd_cache(args)
+        if args.command == "check":
+            return _cmd_check(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         return _cmd_report(args)
     except BrokenPipeError:
         # Downstream reader (e.g. `| head`) closed stdout early.

@@ -76,6 +76,7 @@ __all__ = [
     "TECH_PRESETS",
     "default_cache",
     "reset_default_cache",
+    "set_stage_verification",
     "frontend_key",
     "scaling_key",
     "compute_lowered",
@@ -144,6 +145,35 @@ class AccountingResult:
 # Stage keys and computations
 
 
+_VERIFY_STAGES = False
+
+
+def set_stage_verification(enabled: bool) -> bool:
+    """Toggle IR verification of cached stage outputs; returns the old
+    setting.
+
+    When enabled, the ``lowered``/``frontend``/``layout``/``braid_plan``
+    stages run :func:`repro.analysis.verify.stage_verifier` over every
+    freshly computed or disk-revived artifact before it enters the
+    cache, raising :class:`repro.analysis.AnalysisError` on a defect
+    (``python -m repro run --verify-stages``).  Off by default: the
+    plan pass re-derives every route mask, which is measurable on large
+    instances.
+    """
+    global _VERIFY_STAGES
+    previous = _VERIFY_STAGES
+    _VERIFY_STAGES = bool(enabled)
+    return previous
+
+
+def _stage_verifier(stage: str):
+    if not _VERIFY_STAGES:
+        return None
+    from ..analysis.verify import stage_verifier
+
+    return stage_verifier(stage)
+
+
 def _resolve(app: str, size: Optional[int]) -> tuple[str, int]:
     spec = get_app(app)
     return spec.name, spec.default_size if size is None else size
@@ -198,6 +228,7 @@ def compute_lowered(
         build,
         to_jsonable=Circuit.to_jsonable,
         from_jsonable=Circuit.from_jsonable,
+        verify=_stage_verifier("lowered"),
     )
 
 
@@ -224,6 +255,7 @@ def compute_frontend(
         # is persisted for cache inspection (nothing revives it --
         # reports read whole grid-point payloads instead).
         to_jsonable=lambda fe: dataclasses.asdict(fe.logical),
+        verify=_stage_verifier("frontend"),
     )
 
 
@@ -248,7 +280,9 @@ def compute_layout(
         fe = compute_frontend(cache, name, size, inline_depth)
         return build_tiled_machine(fe.circuit, optimize_layout=optimize_layout)
 
-    return cache.get_or_compute(key, build)
+    return cache.get_or_compute(
+        key, build, verify=_stage_verifier("layout")
+    )
 
 
 def compute_braid_plan(
@@ -285,7 +319,9 @@ def compute_braid_plan(
         )
         return machine.plan(distance, dag=fe.dag)
 
-    return cache.get_or_compute(key, build)
+    return cache.get_or_compute(
+        key, build, verify=_stage_verifier("braid_plan")
+    )
 
 
 def compute_braid(

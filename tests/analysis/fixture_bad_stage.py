@@ -1,0 +1,33 @@
+"""Linter fixture: a stage module with known determinism violations.
+
+The CI ``analysis`` job runs ``python -m repro lint`` over this file
+and asserts a *nonzero* exit — proving the linter actually fails the
+build on the defect classes it claims to catch.  Not a test module
+(``fixture_`` prefix keeps pytest from collecting it) and never
+imported; the code only needs to parse.
+
+Expected findings: ND01 (time in a key function), ND02 (set feeding a
+key), SK01 (``distance`` never reaches the key), FM01 (plan array
+mutation + ``object.__setattr__`` outside a constructor).
+"""
+
+import time
+
+from repro.runner.keys import StageKey
+
+
+def compute_bad_stage(cache, app, sizes, distance):
+    """Every rule violated at once; ``distance`` never reaches the key."""
+    key = StageKey.make(
+        "bad_stage",
+        app=app,
+        sizes={s for s in sizes},
+        stamp=time.time(),
+    )
+    return cache.get_or_compute(key, lambda: app)
+
+
+def clobber_plan(plan):
+    plan.in_degrees.append(0)
+    object.__setattr__(plan, "critical_path", 0)
+    return plan

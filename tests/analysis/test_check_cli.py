@@ -1,0 +1,196 @@
+"""``repro check`` / ``repro lint`` CLIs, stage verify hooks, and the
+round-trip validation of persisted ``lowered`` cache payloads."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import AnalysisError
+from repro.analysis.verify import (
+    check_grid,
+    lowered_payload_check,
+    stage_verifier,
+)
+from repro.runner import stages
+from repro.runner.cache import StageCache
+from repro.runner.cli import main
+from repro.runner.keys import StageKey
+from repro.runner.sweep import GridSpec
+
+FIXTURE = Path(__file__).resolve().parent / "fixture_bad_stage.py"
+
+SMALL_GRID = GridSpec(
+    apps=("gse",), sizes={"gse": 3}, policies=(0, 6), distance=3
+)
+
+
+class TestCheckGrid:
+    def test_small_grid_is_clean(self):
+        report = check_grid(SMALL_GRID)
+        assert report.ok
+        # Policies 0 and 6 use different layouts -> two artifact sets.
+        assert report.artifacts_checked == 2
+        assert report.points_checked == 2
+        payload = report.to_jsonable()
+        assert payload["ok"] is True
+        assert payload["diagnostics"] == []
+
+    def test_derives_distance_like_run_point(self):
+        # No explicit distance: derived from the frontend error budget.
+        grid = GridSpec(
+            apps=("gse",), sizes={"gse": 3}, policies=(0,), distance=None
+        )
+        report = check_grid(grid)
+        assert report.ok
+        assert report.artifacts_checked == 1
+
+    def test_check_cli_json(self, capsys):
+        exit_code = main(["check", "--grid", "tiny", "--json"])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["ok"] is True
+        assert "0 error(s)" in captured.err
+
+
+class TestLintCli:
+    def test_clean_package_exits_zero(self):
+        assert main(["lint", "src/repro"]) == 0
+
+    def test_fixture_fails_the_build(self, capsys):
+        assert main(["lint", str(FIXTURE)]) == 1
+        out = capsys.readouterr().out
+        for rule in ("ND01", "ND02", "SK01", "FM01"):
+            assert rule in out
+
+    def test_missing_path_is_usage_error(self):
+        assert main(["lint", "no/such/path.py"]) == 2
+
+
+class TestStageVerifyHook:
+    def test_rejected_value_never_enters_the_cache(self):
+        cache = StageCache()
+        key = StageKey.make("probe", x=1)
+
+        def verify(value):
+            raise AnalysisError([])
+
+        with pytest.raises(AnalysisError):
+            cache.get_or_compute(key, lambda: 42, verify=verify)
+        assert key not in cache
+        # Without the verifier the same key computes normally.
+        assert cache.get_or_compute(key, lambda: 42) == 42
+
+    def test_stage_verifier_catches_a_corrupt_revived_circuit(self):
+        verifier = stage_verifier("lowered")
+        assert verifier is not None
+        from repro.qasm.circuit import Circuit
+
+        good = Circuit(name="ok")
+        good.apply("PREPZ", "q0")
+        verifier(good)  # no raise
+        bad = Circuit(name="bad")
+        bad.apply("TOFFOLI", "a", "b", "c")  # composite: not lowered
+        with pytest.raises(AnalysisError):
+            verifier(bad)
+
+    def test_set_stage_verification_round_trips(self):
+        assert stages.set_stage_verification(True) is False
+        try:
+            cache = StageCache()
+            circuit = stages.compute_lowered(cache, "gse", 3)
+            assert len(circuit) > 0
+        finally:
+            assert stages.set_stage_verification(False) is True
+
+    def test_verified_run_cli(self, tmp_path, capsys):
+        exit_code = main([
+            "run", "gse", "--size", "3", "--policy", "0",
+            "--distance", "3", "--verify-stages",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert exit_code == 0
+        capsys.readouterr()
+
+    def teardown_method(self):
+        stages.set_stage_verification(False)
+
+
+def _persist_lowered(tmp_path):
+    cache = StageCache(tmp_path / "cache")
+    stages.compute_lowered(cache, "gse", 3)
+    files = list((tmp_path / "cache" / "lowered").glob("*.json"))
+    assert len(files) == 1
+    return cache, files[0]
+
+
+def _rewrite_value(path, mutate):
+    record = json.loads(path.read_text(encoding="utf-8"))
+    record["value"] = mutate(record["value"])
+    path.write_text(json.dumps(record), encoding="utf-8")
+
+
+class TestCacheVerifyRoundTrip:
+    def test_intact_payload_verifies(self, tmp_path):
+        cache, _ = _persist_lowered(tmp_path)
+        result = cache.verify(
+            payload_checks={"lowered": lowered_payload_check}
+        )
+        assert result["checked"] >= 1
+        assert result["invalid_payload"] == []
+        assert result["ok"] == result["checked"]
+
+    def test_bad_arity_payload_is_reported_not_raised(self, tmp_path):
+        cache, path = _persist_lowered(tmp_path)
+
+        def mutate(value):
+            lines = value["ops"].split("\n")
+            lines[0] = "CNOT " + lines[0].split(" ", 1)[1].split(" ")[0]
+            value["ops"] = "\n".join(lines)
+            return value
+
+        _rewrite_value(path, mutate)
+        result = cache.verify(
+            payload_checks={"lowered": lowered_payload_check}
+        )
+        (entry,) = result["invalid_payload"]
+        assert entry["path"] == str(path)
+        assert "CNOT" in entry["error"]
+
+    def test_dangling_operand_payload_is_reported(self, tmp_path):
+        cache, path = _persist_lowered(tmp_path)
+
+        def mutate(value):
+            # Drop a registered qubit: its operations now dangle.
+            value["qubits"] = value["qubits"][1:]
+            return value
+
+        _rewrite_value(path, mutate)
+        result = cache.verify(
+            payload_checks={"lowered": lowered_payload_check}
+        )
+        (entry,) = result["invalid_payload"]
+        assert "dangling" in entry["error"]
+
+    def test_cache_verify_cli_reports_and_fails(self, tmp_path, capsys):
+        _, path = _persist_lowered(tmp_path)
+        _rewrite_value(
+            path, lambda value: {**value, "qubits": value["qubits"][1:]}
+        )
+        exit_code = main([
+            "cache", "verify", "--cache-dir", str(tmp_path / "cache")
+        ])
+        assert exit_code == 1
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert len(payload["invalid_payload"]) == 1
+        assert "problematic" in captured.err
+
+    def test_cache_verify_cli_clean(self, tmp_path, capsys):
+        _persist_lowered(tmp_path)
+        exit_code = main([
+            "cache", "verify", "--cache-dir", str(tmp_path / "cache")
+        ])
+        assert exit_code == 0
+        assert "verified" in capsys.readouterr().err

@@ -1,0 +1,40 @@
+"""Golden coverage: the IR verifier over all 28 Fig. 6 design points.
+
+The acceptance bar for the analysis layer — every artifact the paper's
+headline figure compiles (4 apps x 7 policies, collapsing to 8 unique
+(app, layout, distance) artifact sets) verifies with zero diagnostics,
+including the strict advisory passes staying warning-only.
+"""
+
+import pytest
+
+from repro.analysis import Severity
+from repro.analysis.verify import check_grid
+from repro.runner.cache import StageCache
+from repro.runner.sweep import fig6_grid
+
+
+@pytest.fixture(scope="module")
+def fig6_report():
+    return check_grid(fig6_grid(), cache=StageCache(), strict=True)
+
+
+@pytest.mark.slow
+class TestFig6Golden:
+    def test_covers_all_28_points(self, fig6_report):
+        assert fig6_report.points_checked == 28
+        assert fig6_report.artifacts_checked == 8
+
+    def test_zero_error_diagnostics(self, fig6_report):
+        errors = fig6_report.errors
+        assert errors == (), "\n".join(d.format() for d in errors)
+        assert fig6_report.ok
+
+    def test_strict_warnings_stay_advisory(self, fig6_report):
+        # Real lowered workloads legitimately trip the advisory passes
+        # (sq first-touches qubits without preparations); those must
+        # surface as warnings, never errors.
+        assert all(
+            d.severity is not Severity.ERROR
+            for d in fig6_report.diagnostics
+        )

@@ -1,0 +1,156 @@
+"""Determinism/purity linter: rule coverage, self-cleanliness, fixture."""
+
+from pathlib import Path
+
+import repro
+from repro.analysis.lint import lint_paths, lint_source
+
+REPO = Path(__file__).resolve().parent.parent.parent
+FIXTURE = Path(__file__).resolve().parent / "fixture_bad_stage.py"
+
+
+def rules_of(findings):
+    return {f.pass_name for f in findings}
+
+
+class TestRules:
+    def test_nd01_time_in_key_function(self):
+        findings = lint_source(
+            "def f(cache, app):\n"
+            "    key = StageKey.make('s', app=app, t=time.time())\n"
+            "    return cache.get_or_compute(key, lambda: app)\n"
+        )
+        assert "ND01" in rules_of(findings)
+
+    def test_nd01_requires_key_context(self):
+        # time.time() in a non-key function (e.g. prune) is fine.
+        findings = lint_source(
+            "def prune(self):\n"
+            "    cutoff = time.time() - 3600\n"
+            "    return cutoff\n"
+        )
+        assert findings == []
+
+    def test_nd01_id_into_key(self):
+        findings = lint_source(
+            "def f(cache, plan):\n"
+            "    key = StageKey.make('s', plan=id(plan))\n"
+            "    return cache.get_or_compute(key, lambda: plan)\n"
+        )
+        assert "ND01" in rules_of(findings)
+
+    def test_nd02_set_into_key(self):
+        findings = lint_source(
+            "def f(cache, apps):\n"
+            "    key = StageKey.make('s', apps=set(apps))\n"
+            "    return cache.get_or_compute(key, lambda: apps)\n"
+        )
+        assert "ND02" in rules_of(findings)
+
+    def test_nd02_sorted_set_is_fine(self):
+        findings = lint_source(
+            "def f(cache, apps):\n"
+            "    key = StageKey.make('s', apps=sorted({a for a in apps}))\n"
+            "    return cache.get_or_compute(key, lambda: apps)\n"
+        )
+        assert findings == []
+
+    def test_nd02_set_in_payload(self):
+        findings = lint_source(
+            "def to_jsonable(self):\n"
+            "    return {'qubits': set(self.qubits)}\n"
+        )
+        assert "ND02" in rules_of(findings)
+
+    def test_sk01_parameter_never_reaches_key(self):
+        findings = lint_source(
+            "def f(cache, app, distance):\n"
+            "    key = StageKey.make('s', app=app)\n"
+            "    return cache.get_or_compute(key, lambda: app)\n"
+        )
+        (finding,) = findings
+        assert finding.pass_name == "SK01"
+        assert "distance" in finding.message
+
+    def test_sk01_tracks_assignment_aliases(self):
+        findings = lint_source(
+            "def f(cache, app, size, distance):\n"
+            "    name, size = _resolve(app, size)\n"
+            "    key = StageKey.make('s', app=name, size=size, d=distance)\n"
+            "    return cache.get_or_compute(key, lambda: name)\n"
+        )
+        assert findings == []
+
+    def test_sk01_accepts_key_helper_functions(self):
+        findings = lint_source(
+            "def f(cache, app, size):\n"
+            "    return cache.get_or_compute(\n"
+            "        frontend_key(app, size), lambda: app\n"
+            "    )\n"
+        )
+        assert findings == []
+
+    def test_fm01_setattr_outside_constructor(self):
+        findings = lint_source(
+            "def hack(plan):\n"
+            "    object.__setattr__(plan, 'distance', 3)\n"
+        )
+        assert "FM01" in rules_of(findings)
+
+    def test_fm01_setattr_in_constructor_is_fine(self):
+        findings = lint_source(
+            "class Frozen:\n"
+            "    def __init__(self, value):\n"
+            "        object.__setattr__(self, 'value', value)\n"
+        )
+        assert findings == []
+
+    def test_fm01_plan_array_mutations(self):
+        findings = lint_source(
+            "def hack(self, plan):\n"
+            "    plan.in_degrees.append(0)\n"
+            "    self.plan.route_length[0] = 99\n"
+        )
+        assert [f.pass_name for f in findings] == ["FM01", "FM01"]
+
+    def test_fm01_rebinding_is_not_mutation(self):
+        findings = lint_source(
+            "class Sim:\n"
+            "    def bind(self, plan):\n"
+            "        self.plan = plan\n"
+        )
+        assert findings == []
+
+    def test_fm01_skipped_inside_plan_classes(self):
+        findings = lint_source(
+            "class BraidPlan:\n"
+            "    def _rebuild(self, plan):\n"
+            "        plan.segments[0] = ()\n"
+        )
+        assert findings == []
+
+    def test_suppression_marker(self):
+        findings = lint_source(
+            "def f(cache, app):\n"
+            "    key = StageKey.make('s', t=time.time(), app=app)"
+            "  # repro-lint: skip\n"
+            "    return cache.get_or_compute(key, lambda: app)\n"
+        )
+        assert findings == []
+
+    def test_syntax_error_is_a_finding_not_a_crash(self):
+        findings = lint_source("def broken(:\n")
+        (finding,) = findings
+        assert finding.pass_name == "parse"
+
+
+class TestTrees:
+    def test_src_repro_is_clean(self):
+        package_root = Path(repro.__file__).parent
+        findings = lint_paths([package_root])
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+    def test_fixture_module_is_flagged(self):
+        findings = lint_paths([FIXTURE])
+        rules = rules_of(findings)
+        assert {"ND01", "ND02", "SK01", "FM01"} <= rules
