@@ -27,6 +27,10 @@ Passes:
   holds matching the plan's code distance, minimal route lengths,
   factory binding for magic-state consumers, DAG array agreement, and
   the policy-independent critical path re-derived from scratch.
+* :func:`check_vec_plan` — the vectorized engine's word-packed
+  derived arrays (:mod:`repro.network.braidsim_vec`) repacked to
+  big-int masks and compared against the plan they were derived
+  from; a no-op returning ``[]`` when numpy is absent.
 
 All passes return ``list[Diagnostic]`` (empty == verified) and never
 raise on malformed input; :func:`check_point_artifacts` composes them
@@ -50,6 +54,7 @@ __all__ = [
     "check_dag",
     "check_placement",
     "check_plan",
+    "check_vec_plan",
     "check_point_artifacts",
 ]
 
@@ -579,6 +584,109 @@ def check_plan(
                 f"factories ({ratio:.1f} tiles/factory; balance is "
                 f"~{DATA_TILES_PER_FACTORY})",
             ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Vectorized-engine derived arrays
+
+
+def check_vec_plan(
+    plan: BraidPlan, artifact: str = "plan"
+) -> list[Diagnostic]:
+    """Verify the vectorized engine's word arrays against their plan.
+
+    Builds (or revives) the per-plan
+    :class:`~repro.network.braidsim_vec._VecPlanArrays` and repacks
+    every derived structure back to the plan's own representation:
+    segment rows to the segments' big-int DOR masks, the alternative
+    bank to :meth:`~repro.network.routing.RouteTable.alternatives`
+    masks in preference order, and the key arrays to the plan's
+    ``route_length``/``criticality`` lists.  Also asserts the packed
+    rows are non-writeable, the property that keeps the shared arrays
+    safe across concurrent policy simulations.  Returns ``[]`` when
+    numpy is not installed (the vectorized engine cannot run either).
+    """
+    from ..network import braidsim_vec
+
+    if braidsim_vec.np is None:
+        return []
+    out: list[Diagnostic] = []
+    vec = braidsim_vec.vec_plan_arrays(plan)
+    expected_words = max(1, (BraidMesh(plan.rows, plan.cols).num_links + 63) // 64)
+    if vec.words != expected_words:
+        out.append(_diag(
+            Severity.ERROR, "vec_plan", artifact, "words",
+            f"mask width is {vec.words} words; the {plan.rows}x"
+            f"{plan.cols} mesh needs {expected_words}",
+        ))
+        return out
+    if len(vec.seg_rows) != plan.num_ops:
+        out.append(_diag(
+            Severity.ERROR, "vec_plan", artifact, "seg_rows",
+            f"{len(vec.seg_rows)} row tuples for {plan.num_ops} ops",
+        ))
+        return out
+    for op, segs in enumerate(plan.segments):
+        rows = vec.seg_rows[op]
+        if len(rows) != len(segs):
+            out.append(_diag(
+                Severity.ERROR, "vec_plan", artifact, f"op {op}",
+                f"{len(rows)} word rows for {len(segs)} segments",
+            ))
+            continue
+        for seg_index, (seg, row) in enumerate(zip(segs, rows)):
+            where = f"op {op} segment {seg_index}"
+            if row.flags.writeable:
+                out.append(_diag(
+                    Severity.ERROR, "vec_plan", artifact, where,
+                    "packed DOR row is writeable (shared plan arrays "
+                    "must be immutable)",
+                ))
+            repacked = braidsim_vec._words_mask(row)
+            if repacked != seg[5]:
+                out.append(_diag(
+                    Severity.ERROR, "vec_plan", artifact, where,
+                    f"DOR row repacks to {repacked:#x}, segment mask "
+                    f"is {seg[5]:#x}",
+                ))
+    lengths = tuple(int(v) for v in vec.route_length.tolist())
+    if lengths != tuple(plan.route_length):
+        out.append(_diag(
+            Severity.ERROR, "vec_plan", artifact, "route_length",
+            "route-length array disagrees with the plan",
+        ))
+    crit = tuple(int(v) for v in vec.criticality().tolist())
+    if crit != tuple(plan.criticality()):
+        out.append(_diag(
+            Severity.ERROR, "vec_plan", artifact, "criticality",
+            "criticality array disagrees with the plan",
+        ))
+    # Bind every braid segment's pair into the bank, then audit the
+    # whole bank against the route table's preference order.
+    for op, segs in enumerate(plan.segments):
+        for seg in segs:
+            vec.pair_span(seg[0], seg[1])
+    bank = vec.bank_matrix()
+    for (src, dst), (start, count) in sorted(vec._pair_span.items()):
+        alts = plan.routes.alternatives(src, dst)
+        where = f"pair {src}->{dst}"
+        if count != len(alts):
+            out.append(_diag(
+                Severity.ERROR, "vec_plan", artifact, where,
+                f"bank block has {count} rows for {len(alts)} "
+                "alternatives",
+            ))
+            continue
+        for offset, (_, mask) in enumerate(alts):
+            repacked = braidsim_vec._words_mask(bank[start + offset])
+            if repacked != mask:
+                out.append(_diag(
+                    Severity.ERROR, "vec_plan", artifact,
+                    f"{where} alt {offset}",
+                    f"bank row repacks to {repacked:#x}, route mask "
+                    f"is {mask:#x}",
+                ))
     return out
 
 

@@ -5,9 +5,10 @@ toolflow:
 
 * :func:`check_grid` — compile every unique (app, size, layout,
   distance) artifact of a sweep grid (Fig. 6 by default) and run all
-  passes over the lowered circuit, DAG, placement and braid plan,
-  returning a :class:`CheckReport` (this backs ``python -m repro
-  check``).
+  passes over the lowered circuit, DAG, placement, braid plan, and
+  (when numpy is installed) the vectorized engine's derived word
+  arrays, returning a :class:`CheckReport` (this backs ``python -m
+  repro check``).
 * :func:`stage_verifier` — per-stage hooks for
   :meth:`StageCache.get_or_compute(verify=...)
   <repro.runner.cache.StageCache.get_or_compute>`: each checks the
@@ -31,6 +32,7 @@ from .ir_checks import (
     check_dag,
     check_placement,
     check_plan,
+    check_vec_plan,
 )
 
 __all__ = [
@@ -145,6 +147,7 @@ def check_grid(
         diagnostics.extend(
             check_plan(plan, artifact=artifact, strict=strict)
         )
+        diagnostics.extend(check_vec_plan(plan, artifact=artifact))
     return CheckReport(
         points_checked=len(points),
         artifacts_checked=len(unique),
@@ -169,7 +172,9 @@ def _verify_layout(machine) -> None:
 
 
 def _verify_plan(plan) -> None:
-    raise_on_errors(check_plan(plan, artifact="braid_plan"))
+    diags = check_plan(plan, artifact="braid_plan")
+    diags.extend(check_vec_plan(plan, artifact="braid_plan"))
+    raise_on_errors(diags)
 
 
 _STAGE_VERIFIERS: dict[str, Callable[[object], None]] = {

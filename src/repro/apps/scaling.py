@@ -18,9 +18,8 @@ from __future__ import annotations
 
 import dataclasses
 import math
+from statistics import fmean
 from typing import TYPE_CHECKING, Optional, Sequence
-
-import numpy as np
 
 from ..frontend.decompose import decompose_circuit
 from ..frontend.estimate import LogicalEstimate, estimate_circuit
@@ -65,9 +64,23 @@ class PowerLaw:
             raise ValueError("need >= 2 paired samples to fit a power law")
         if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
             raise ValueError("power-law fit requires positive samples")
-        log_x = np.log(np.asarray(xs, dtype=float))
-        log_y = np.log(np.asarray(ys, dtype=float))
-        exponent, intercept = np.polyfit(log_x, log_y, 1)
+        # Closed-form degree-1 least squares on the logs (what a
+        # polynomial fit of degree 1 computes): slope = cov/var.
+        log_x = [math.log(float(x)) for x in xs]
+        log_y = [math.log(float(y)) for y in ys]
+        mean_x = fmean(log_x)
+        mean_y = fmean(log_y)
+        var = fmean([(lx - mean_x) ** 2 for lx in log_x])
+        if var == 0.0:
+            raise ValueError("power-law fit requires distinct x samples")
+        cov = fmean(
+            [
+                (lx - mean_x) * (ly - mean_y)
+                for lx, ly in zip(log_x, log_y)
+            ]
+        )
+        exponent = cov / var
+        intercept = mean_y - exponent * mean_x
         return PowerLaw(
             coefficient=float(math.exp(intercept)), exponent=float(exponent)
         )
@@ -148,12 +161,12 @@ def fit_scaling_model(
         app_name=app_name,
         qubits_vs_ops=PowerLaw.fit(ops, [e.num_qubits for e in estimates]),
         depth_vs_ops=PowerLaw.fit(ops, [e.critical_path for e in estimates]),
-        parallelism_factor=float(
-            np.mean([e.parallelism_factor for e in estimates])
+        parallelism_factor=fmean(
+            [e.parallelism_factor for e in estimates]
         ),
-        t_fraction=float(np.mean([e.t_fraction for e in estimates])),
-        two_qubit_fraction=float(
-            np.mean([e.two_qubit_count / e.total_operations for e in estimates])
+        t_fraction=fmean([e.t_fraction for e in estimates]),
+        two_qubit_fraction=fmean(
+            [e.two_qubit_count / e.total_operations for e in estimates]
         ),
         calibration_ops=tuple(ops),
     )

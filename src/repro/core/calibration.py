@@ -67,7 +67,7 @@ def _variant_scaling(
     or a repeated calibration -- reuses them from the stage cache
     instead of recompiling.
     """
-    import numpy as np
+    from statistics import fmean
 
     from ..apps.scaling import CALIBRATION_SIZES, PowerLaw
     from ..runner import stages
@@ -84,14 +84,12 @@ def _variant_scaling(
         app_name=f"{spec.name}-inline{inline_depth}",
         qubits_vs_ops=PowerLaw.fit(ops, [e.num_qubits for e in estimates]),
         depth_vs_ops=PowerLaw.fit(ops, [e.critical_path for e in estimates]),
-        parallelism_factor=float(
-            np.mean([e.parallelism_factor for e in estimates])
+        parallelism_factor=fmean(
+            [e.parallelism_factor for e in estimates]
         ),
-        t_fraction=float(np.mean([e.t_fraction for e in estimates])),
-        two_qubit_fraction=float(
-            np.mean(
-                [e.two_qubit_count / e.total_operations for e in estimates]
-            )
+        t_fraction=fmean([e.t_fraction for e in estimates]),
+        two_qubit_fraction=fmean(
+            [e.two_qubit_count / e.total_operations for e in estimates]
         ),
         calibration_ops=tuple(ops),
     )

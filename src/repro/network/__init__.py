@@ -5,9 +5,11 @@ from ._braidsim_reference import (
     simulate_braids_reference,
 )
 from .braidsim import (
+    ENGINES,
     BraidSimConfig,
     BraidSimResult,
     BraidSimulator,
+    engine_class,
     simulate_braids,
     simulate_plan,
 )
@@ -50,6 +52,8 @@ __all__ = [
     "BraidSimConfig",
     "BraidSimResult",
     "BraidSimulator",
+    "ENGINES",
+    "engine_class",
     "BraidPlan",
     "braid_plan",
     "plan_memo_stats",

@@ -64,9 +64,50 @@ __all__ = [
     "BraidSimConfig",
     "BraidSimResult",
     "BraidSimulator",
+    "ENGINES",
+    "engine_class",
     "simulate_braids",
     "simulate_plan",
 ]
+
+ENGINES = ("flat", "vec", "reference")
+"""Selectable braid engines.
+
+* ``"flat"`` — this module's optimized flat-structure event loop (the
+  default everywhere).
+* ``"vec"`` — :mod:`.braidsim_vec`'s numpy-batched engine (requires
+  the ``vec`` optional extra).
+* ``"reference"`` — the preserved seed loop in
+  :mod:`._braidsim_reference`, the semantic oracle.
+
+All three produce bit-identical :class:`BraidSimResult`\\ s; the golden
+tests and ``python -m repro bench --reference`` enforce it.
+"""
+
+
+def engine_class(engine: str) -> type:
+    """Resolve an engine name to its simulator class.
+
+    Raises:
+        KeyError: On an unknown engine name.
+        ImportError: For ``"vec"`` when numpy is not installed (the
+            message names the ``vec`` extra).
+    """
+    if engine == "flat":
+        return BraidSimulator
+    if engine == "vec":
+        from . import braidsim_vec
+
+        if braidsim_vec.np is None:
+            raise ImportError(braidsim_vec.NUMPY_HINT)
+        return braidsim_vec.VecBraidSimulator
+    if engine == "reference":
+        from ._braidsim_reference import ReferenceBraidSimulator
+
+        return ReferenceBraidSimulator
+    raise KeyError(
+        f"unknown braid engine {engine!r}; available: {sorted(ENGINES)}"
+    )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -696,6 +737,7 @@ def simulate_braids(
     factory_routers: tuple[Router, ...] = (),
     config: Optional[BraidSimConfig] = None,
     dag: Optional[CircuitDag] = None,
+    engine: str = "flat",
 ) -> BraidSimResult:
     """Simulate a circuit's braid schedule under one policy.
 
@@ -709,9 +751,26 @@ def simulate_braids(
         factory_routers: Magic-state factory endpoints.
         config: Timeout/limit knobs.
         dag: Optional pre-built dependence DAG.
+        engine: Braid engine (see :data:`ENGINES`); all engines return
+            bit-identical results.
     """
     if isinstance(policy, int):
         policy = POLICIES[policy]
+    if engine == "reference":
+        from ._braidsim_reference import simulate_braids_reference
+
+        return simulate_braids_reference(
+            circuit,
+            placement,
+            mesh,
+            policy,
+            distance,
+            code=code,
+            factory_routers=factory_routers,
+            config=config,
+            dag=dag,
+        )
+    cls = engine_class(engine)
     config = config or BraidSimConfig()
     plan = braid_plan(
         circuit,
@@ -723,22 +782,39 @@ def simulate_braids(
         max_detour=config.max_detour,
         dag=dag,
     )
-    return BraidSimulator(
-        policy=policy, config=config, plan=plan, mesh=mesh
-    ).run()
+    return cls(policy=policy, config=config, plan=plan, mesh=mesh).run()
 
 
 def simulate_plan(
     plan: BraidPlan,
     policy: Policy | int,
     config: Optional[BraidSimConfig] = None,
+    engine: str = "flat",
 ) -> BraidSimResult:
     """Simulate one policy from a prebuilt (shared) plan.
 
     The plan is read-only: callers can run all seven policies from the
     same plan, concurrently or in sequence, and each simulation gets
-    fresh mutable state (mesh occupancy, phases, event heap).
+    fresh mutable state (mesh occupancy, phases, event heap).  The
+    ``engine`` selects the implementation (see :data:`ENGINES`); the
+    reference engine replays the plan's circuit/placement on a fresh
+    mesh through the preserved seed loop.
     """
     if isinstance(policy, int):
         policy = POLICIES[policy]
-    return BraidSimulator(policy=policy, config=config, plan=plan).run()
+    if engine == "reference":
+        from ._braidsim_reference import simulate_braids_reference
+
+        return simulate_braids_reference(
+            plan.circuit,
+            plan.placement,
+            BraidMesh(plan.rows, plan.cols),
+            policy,
+            plan.distance,
+            code=plan.code,
+            factory_routers=plan.factory_routers,
+            config=config,
+            dag=plan.dag,
+        )
+    cls = engine_class(engine)
+    return cls(policy=policy, config=config, plan=plan).run()

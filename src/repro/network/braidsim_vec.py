@@ -1,0 +1,466 @@
+"""Vectorized braid engine: batched open-candidate tests on numpy bitsets.
+
+The flat engine (:mod:`.braidsim`) pays two structural costs in its
+issue fixpoint: per-round ready-queue maintenance (every make-ready,
+open, close, and drop updates the incremental policy queues, and every
+round rebuilds an ``(op, is_close)`` sequence list), and — under
+contention — the per-braid ``_try_open`` route scan, re-run for every
+blocked op each time a release invalidates the epoch memo.  This
+engine replaces both:
+
+* link occupancy and every route mask are packed into uint64 *words*
+  (word ``i`` holds links ``64i..64i+63``), each segment's dominant
+  route is a prepacked word row, and the adaptive candidates of a
+  ``(src, dst)`` pair are one block of a lazily grown bank matrix,
+  rows in the exact preference order of
+  :meth:`~.routing.RouteTable.alternatives`.  When a fixpoint round
+  queues :data:`_BATCH_MIN` or more candidate opens, their
+  current-segment rows are stacked into a ``(candidates, words)``
+  matrix and "which blocked braids could open now" is one broadcast
+  AND + any reduction (plus a segmented ``logical_and.reduceat`` over
+  the bank) instead of a Python route scan per braid, and the policy
+  order (criticality / route length / the combined median rule) is
+  one ``np.lexsort`` over arrays prefetched from the shared plan;
+* below the batch threshold the engine runs the scalar
+  :meth:`~.braidsim.BraidSimulator._sort_opens` ordering directly —
+  with no incremental queues to maintain, and with empty/singleton
+  ready sets short-circuited before any list is built.
+
+The batched test is a *prefilter*, not the final word: occupancy only
+grows while a round's opens are walked, so an op whose every candidate
+is blocked against the round's occupancy floor is guaranteed to fail
+at its turn — only its failure bookkeeping runs, bit-for-bit the flat
+engine's.  Survivors go through the inherited scalar ``_try_open``,
+which performs the authoritative search, claim, and counter updates.
+Results are therefore bit-identical to the flat engine and to the seed
+loop in :mod:`._braidsim_reference`, which the golden tests and every
+``bench --reference`` run enforce.
+
+The plan-derived arrays (mask words, alternative bank, key arrays) are
+cached per :class:`~.plan.BraidPlan` identity and shared by all seven
+policy simulations of a design point; they are derived *from* the plan
+and never written back — the plan stays read-only.
+
+numpy is an optional dependency (the ``vec`` extra): importing this
+module without it is fine, but constructing the engine raises an
+``ImportError`` that names the extra.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+try:  # numpy is the "vec" optional extra, not a hard dependency
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via monkeypatching
+    np = None
+
+from .braidsim import _WAKE, BraidSimulator
+from .plan import BraidPlan
+
+__all__ = ["VecBraidSimulator", "NUMPY_HINT", "vec_plan_arrays"]
+
+NUMPY_HINT = (
+    "the vectorized braid engine needs numpy; install the optional "
+    'extra ("pip install repro[vec]" or "pip install numpy") or use '
+    'engine="flat"'
+)
+
+_BATCH_MIN = 8
+"""Candidate opens below which a round runs the scalar path.
+
+Purely a performance threshold — the batched prefilter only ever
+classifies *guaranteed* failures, so both paths produce identical
+results; the golden tests run contention scenarios on both sides."""
+
+_WORD_DTYPE = "<u8"  # little-endian uint64: word i holds links 64i..64i+63
+
+
+def _mask_words(mask: int, words: int):
+    """Unpack a big-int link mask into a (words,) uint64 array."""
+    return np.frombuffer(
+        mask.to_bytes(words * 8, "little"), dtype=_WORD_DTYPE
+    )
+
+
+def _words_mask(row) -> int:
+    """Repack a (words,) uint64 array into the big-int link mask."""
+    return int.from_bytes(row.tobytes(), "little")
+
+
+class _VecPlanArrays:
+    """Word-packed, read-only views of one plan's routing data.
+
+    Built once per :class:`BraidPlan` and shared by every policy
+    simulation of that plan (see :func:`vec_plan_arrays`).  The
+    alternative bank grows lazily — a ``(src, dst)`` pair's block is
+    packed on the first adaptive test that needs it — and consolidates
+    into one matrix on demand so the gather stays a single fancy index.
+    """
+
+    __slots__ = (
+        "plan", "words", "seg_rows", "route_length",
+        "_criticality", "_pair_span", "_pending", "_matrix", "_size",
+    )
+
+    def __init__(self, plan: BraidPlan) -> None:
+        self.plan = plan
+        num_links = (plan.rows + 1) * plan.cols + plan.rows * (
+            plan.cols + 1
+        )
+        self.words = max(1, (num_links + 63) // 64)
+        seg_rows: list[tuple] = []
+        for segs in plan.segments:
+            seg_rows.append(
+                tuple(_mask_words(seg[5], self.words) for seg in segs)
+            )
+        self.seg_rows = seg_rows
+        self.route_length = np.asarray(plan.route_length, dtype=np.int64)
+        self._criticality = None
+        self._pair_span: dict[tuple, tuple[int, int]] = {}
+        self._pending: list = []
+        self._matrix = np.zeros((0, self.words), dtype=_WORD_DTYPE)
+        self._size = 0
+
+    def criticality(self):
+        if self._criticality is None:
+            self._criticality = np.asarray(
+                self.plan.criticality(), dtype=np.int64
+            )
+        return self._criticality
+
+    def pair_span(self, src, dst) -> tuple[int, int]:
+        """(start, count) of the pair's candidate rows in the bank."""
+        span = self._pair_span.get((src, dst))
+        if span is None:
+            alts = self.plan.routes.alternatives(src, dst)
+            block = np.stack(
+                [_mask_words(mask, self.words) for _, mask in alts]
+            )
+            span = (self._size, len(alts))
+            self._pair_span[(src, dst)] = span
+            self._pending.append(block)
+            self._size += len(alts)
+        return span
+
+    def bank_matrix(self):
+        if self._pending:
+            self._matrix = np.concatenate([self._matrix, *self._pending])
+            self._pending = []
+        return self._matrix
+
+
+_VEC_MEMO: "OrderedDict[int, _VecPlanArrays]" = OrderedDict()
+VEC_MEMO_CAPACITY = 8
+
+
+def vec_plan_arrays(plan: BraidPlan) -> _VecPlanArrays:
+    """Per-plan word-array cache (id-keyed, identity-checked LRU).
+
+    Mirrors the :func:`~.plan.braid_plan` memo idiom: the entry keeps
+    its plan alive, so an id hit that passes the ``is`` check can only
+    be the plan the arrays were packed for.
+    """
+    if np is None:
+        raise ImportError(NUMPY_HINT)
+    key = id(plan)
+    entry = _VEC_MEMO.get(key)
+    if entry is not None and entry.plan is plan:
+        _VEC_MEMO.move_to_end(key)
+        return entry
+    entry = _VecPlanArrays(plan)
+    _VEC_MEMO[key] = entry
+    _VEC_MEMO.move_to_end(key)
+    while len(_VEC_MEMO) > VEC_MEMO_CAPACITY:
+        _VEC_MEMO.popitem(last=False)
+    return entry
+
+
+class VecBraidSimulator(BraidSimulator):
+    """Braid simulator with numpy-batched open-candidate tests.
+
+    Same constructor, event loop, and results as
+    :class:`~.braidsim.BraidSimulator`; only the issue fixpoint is
+    replaced (see the module docstring for the batching scheme and the
+    scalar fast paths below the batch threshold).
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        if np is None:
+            raise ImportError(NUMPY_HINT)
+        super().__init__(*args, **kwargs)
+        # The incremental ready queues are superseded: small rounds
+        # sort directly (cheaper than queue upkeep at fig6's ready-set
+        # sizes), large rounds lexsort over prefetched arrays.
+        self._open_queue = None
+        vec = vec_plan_arrays(self.plan)
+        self._vec = vec
+        # Lazily bound (start, count) into the alternative bank,
+        # stamped with the segment it was bound for (ops advance
+        # through segments, invalidating the binding).
+        n = self.num_ops
+        self._alt_start = [0] * n
+        self._alt_count = [0] * n
+        self._alt_seg = [-1] * n
+        self._len_arr = vec.route_length
+        if self.policy.use_criticality or self.policy.combined_length_rule:
+            self._crit_arr = vec.criticality()
+        else:
+            self._crit_arr = None
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _occ_words(self, occupied: int):
+        """A big-int occupancy mask as uint64 words."""
+        return np.frombuffer(
+            occupied.to_bytes(self._vec.words * 8, "little"),
+            dtype=_WORD_DTYPE,
+        )
+
+    # -- batched open tests -------------------------------------------------
+
+    def _ordered_opens_vec(self, opens: list[int]) -> list[int]:
+        """Policy open order as one lexsort over prefetched arrays.
+
+        Matches :meth:`BraidSimulator._sort_opens` exactly: every key
+        ends in (arrival, op), so the order is total and deterministic
+        regardless of the ready set's iteration order.
+        """
+        ops = np.asarray(opens, dtype=np.int64)
+        arrival_list = self._arrival
+        arrival = np.fromiter(
+            (arrival_list[op] for op in opens), np.int64, len(opens)
+        )
+        policy = self.policy
+        if policy.combined_length_rule:
+            crit = self._crit_arr[ops]
+            length = self._len_arr[ops]
+            n = len(opens)
+            # Boundary value of the descending upper half, as in
+            # _sort_opens: values_desc[(n-1)//2].
+            kth = n - 1 - (n - 1) // 2
+            threshold = np.partition(crit, kth)[kth]
+            key_len = np.where(crit >= threshold, length, -length)
+            order = np.lexsort((ops, arrival, key_len, -crit))
+        elif policy.use_criticality:
+            order = np.lexsort((ops, arrival, -self._crit_arr[ops]))
+        elif policy.use_length:
+            order = np.lexsort((ops, arrival, -self._len_arr[ops]))
+        else:
+            order = np.lexsort((ops, arrival))
+        return ops[order].tolist()
+
+    def _record_failure(self, op: int, time: int, adaptive: bool) -> None:
+        """The failure branch of ``_try_open``, minus the search.
+
+        Runs for ops the prefilter proved blocked; must stay
+        bit-identical to the bookkeeping in
+        :meth:`BraidSimulator._try_open`.
+        """
+        if self._fail_epoch[op] == self.mesh.epoch:
+            self._fail_adaptive[op] |= adaptive
+        else:
+            self._fail_epoch[op] = self.mesh.epoch
+            self._fail_adaptive[op] = adaptive
+        config = self.config
+        if time - self._wait_start[op] >= config.drop_timeout:
+            self._drops += 1
+            self._wait_start[op] = time
+            self._arrival[op] = next(self._arrival_counter)
+        if not adaptive:
+            self._schedule_event(
+                self._wait_start[op] + config.adaptive_timeout, _WAKE, -1
+            )
+
+    def _bank_all_blocked(self, ops: list[int], occ):
+        """Per op: True when *every* adaptive candidate hits ``occ``.
+
+        ``ops`` are braid ops whose DOR row is blocked and whose
+        candidate set is the full alternative list of their current
+        segment; rows are gathered from the shared bank in one fancy
+        index with a segmented all-reduction.
+        """
+        m = len(ops)
+        starts = np.empty(m, dtype=np.int64)
+        counts = np.empty(m, dtype=np.int64)
+        alt_start = self._alt_start
+        alt_count = self._alt_count
+        alt_seg = self._alt_seg
+        seg_index = self._segment_index
+        vec = self._vec
+        for j, op in enumerate(ops):
+            si = seg_index[op]
+            if alt_seg[op] != si:
+                seg = self._segments[op][si]
+                start, count = vec.pair_span(seg[0], seg[1])
+                alt_start[op] = start
+                alt_count[op] = count
+                alt_seg[op] = si
+            starts[j] = alt_start[op]
+            counts[j] = alt_count[op]
+        total = int(counts.sum())
+        group = np.cumsum(counts) - counts
+        rows = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(group, counts)
+            + np.repeat(starts, counts)
+        )
+        hit = (vec.bank_matrix()[rows] & occ).any(axis=1)
+        # Alternatives lists are never empty (the DOR route is one of
+        # them), so every reduceat segment is nonempty.
+        return np.logical_and.reduceat(hit, group)
+
+    def _classify_opens(self, ordered: list[int], time: int, occ,
+                        use_memo: bool):
+        """Prefilter: which queued opens are *guaranteed* to fail.
+
+        ``occ`` is a lower bound on occupancy at every op's turn in the
+        upcoming walk (claims only add links; every release of the
+        round either already happened or was subtracted by the caller),
+        so a candidate set fully blocked against ``occ`` stays blocked.
+        ``use_memo`` additionally applies the epoch memo — only sound
+        when the mesh epoch cannot change before the op's turn
+        (close-first rounds, where all releases precede the open walk).
+        """
+        k = len(ordered)
+        wait_start = self._wait_start
+        timeout = self.config.adaptive_timeout
+        adaptive = np.fromiter(
+            (time - wait_start[op] >= timeout for op in ordered), bool, k
+        )
+        seg_index = self._segment_index
+        seg_rows = self._vec.seg_rows
+        dor_rows = np.stack(
+            [seg_rows[op][seg_index[op]] for op in ordered]
+        )
+        dor_blocked = (dor_rows & occ).any(axis=1)
+        if use_memo:
+            epoch = self.mesh.epoch
+            fail_epoch = self._fail_epoch
+            fail_adaptive = self._fail_adaptive
+            memo_fail = np.fromiter(
+                (
+                    fail_epoch[op] == epoch
+                    and (fail_adaptive[op] or not a)
+                    for op, a in zip(ordered, adaptive.tolist())
+                ),
+                bool,
+                k,
+            )
+            definite_fail = memo_fail | (dor_blocked & ~adaptive)
+            need_bank = dor_blocked & adaptive & ~memo_fail
+        else:
+            definite_fail = dor_blocked & ~adaptive
+            need_bank = dor_blocked & adaptive
+        if need_bank.any():
+            idx = np.nonzero(need_bank)[0]
+            definite_fail[idx] |= self._bank_all_blocked(
+                [ordered[i] for i in idx.tolist()], occ
+            )
+        return definite_fail, adaptive
+
+    # -- the issue fixpoint -------------------------------------------------
+
+    def _issue_events(self, time: int) -> None:
+        closes_first = self.policy.closes_first
+        any_release_with_blocked = False
+        while True:
+            closes = self._closing
+            if closes:
+                closes.sort()
+                self._closing = []
+            progress = False
+            released_any = False
+            blocked_any = False
+            # Open candidates come from the pre-close ready set, as in
+            # the flat engine (closes completing ops this round ready
+            # their successors for the *next* fixpoint round).
+            opens = self._eligible_opens() if self._ready_opens else []
+            k = len(opens)
+            batched = k >= _BATCH_MIN
+            if closes_first:
+                if batched:
+                    ordered = self._ordered_opens_vec(opens)
+                elif k > 1:
+                    ordered = self._sort_opens(opens)
+                else:
+                    ordered = opens
+                for op in closes:
+                    self._close_segment(op, time)
+                    released_any = True
+                    progress = True
+                if batched:
+                    # Post-close occupancy only grows from here, and
+                    # the epoch is fixed for the walk: memo + batched
+                    # candidate tests give exact failure verdicts.
+                    definite_fail, adaptive = self._classify_opens(
+                        ordered,
+                        time,
+                        self._occ_words(self.mesh.occupied_mask),
+                        use_memo=True,
+                    )
+                    for i, op in enumerate(ordered):
+                        if definite_fail[i]:
+                            self._record_failure(
+                                op, time, bool(adaptive[i])
+                            )
+                            blocked_any = True
+                        else:
+                            opened = self._try_open(op, time)
+                            progress |= opened
+                            blocked_any |= not opened
+                else:
+                    for op in ordered:
+                        opened = self._try_open(op, time)
+                        progress |= opened
+                        blocked_any |= not opened
+            else:
+                # Unprioritized: closes and opens interleave by program
+                # order (a two-pointer merge of the two sorted lists;
+                # an op is never both closing and opening).
+                opens.sort()
+                if batched:
+                    # The epoch moves mid-walk here, so the prefilter
+                    # tests against the round's occupancy *floor* —
+                    # everything this round's closes will release,
+                    # subtracted up front — and leaves the memo to the
+                    # scalar path of the surviving opens.
+                    release_mask = 0
+                    for op in closes:
+                        release_mask |= self.mesh.owner_mask(op)
+                    definite_fail, adaptive = self._classify_opens(
+                        opens,
+                        time,
+                        self._occ_words(
+                            self.mesh.occupied_mask & ~release_mask
+                        ),
+                        use_memo=False,
+                    )
+                ci, num_closes = 0, len(closes)
+                oi = 0
+                while ci < num_closes or oi < k:
+                    if oi >= k or (
+                        ci < num_closes and closes[ci] < opens[oi]
+                    ):
+                        self._close_segment(closes[ci], time)
+                        ci += 1
+                        released_any = True
+                        progress = True
+                    elif batched and definite_fail[oi]:
+                        self._record_failure(
+                            opens[oi], time, bool(adaptive[oi])
+                        )
+                        oi += 1
+                        blocked_any = True
+                    else:
+                        opened = self._try_open(opens[oi], time)
+                        oi += 1
+                        progress |= opened
+                        blocked_any |= not opened
+            any_release_with_blocked |= released_any and blocked_any
+            if not progress or (
+                not self._closing and not self._ready_opens
+            ):
+                break
+        if any_release_with_blocked and self._ready_opens:
+            self._schedule_event(time + 1, _WAKE, -1)

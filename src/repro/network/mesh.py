@@ -195,6 +195,10 @@ class BraidMesh:
         self.epoch += 1
         return freed
 
+    def owner_mask(self, owner: Owner) -> int:
+        """Bitmask of the links currently held by ``owner`` (0 if none)."""
+        return self._owner_masks.get(owner, 0)
+
     def owner_of(self, link: Link) -> Owner | None:
         bit = 1 << self.link_id(*link)
         if not self._occupied & bit:

@@ -50,6 +50,7 @@ __all__ = [
     "bench_grid",
     "run_bench",
     "compare_reports",
+    "compare_engines",
 ]
 
 BENCH_FORMAT_VERSION = 1
@@ -94,7 +95,12 @@ class BenchReport:
             reference pass).
         equivalence_checked: Braid points verified bit-identical
             against the reference simulator.
-        environment: Python/platform fingerprint of the machine.
+        environment: Python/platform fingerprint of the machine, plus
+            the run configuration (``workers``) and the installed
+            numpy version (None when numpy is absent), so reports are
+            self-describing across engines and machines.
+        engine: Braid engine the sweep simulated with (reports
+            recorded before the engine axis existed load as "flat").
     """
 
     grid: str
@@ -106,6 +112,7 @@ class BenchReport:
     braid_speedup: Optional[float] = None
     equivalence_checked: int = 0
     environment: dict = dataclasses.field(default_factory=dict)
+    engine: str = "flat"
 
     @property
     def braid_seconds(self) -> float:
@@ -165,15 +172,23 @@ class BenchReport:
         )
 
 
-def _environment() -> dict:
+def _environment(workers: int) -> dict:
     import os
 
+    try:
+        import numpy
+    except ImportError:
+        numpy_version = None
+    else:
+        numpy_version = numpy.__version__
     return {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "machine": platform.machine(),
         "system": platform.system(),
         "cpus": os.cpu_count(),
+        "workers": workers,
+        "numpy": numpy_version,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
     }
 
@@ -225,6 +240,7 @@ def _reference_pass(
             policy=spec.policy,
             distance=distance,
             optimize_layout=optimize_layout,
+            engine=spec.engine,
         )
         mesh = BraidMesh(machine.grid.rows, machine.grid.cols)
         start = time.perf_counter()
@@ -252,6 +268,7 @@ def run_bench(
     grid: Union[str, GridSpec] = "fig6",
     reference: bool = False,
     workers: int = 1,
+    engine: Optional[str] = None,
 ) -> BenchReport:
     """Run one cold-cache benchmark measurement.
 
@@ -262,11 +279,15 @@ def run_bench(
             braid points and verify bit-identical results.
         workers: Sweep process count (stage timing is only meaningful
             per process; keep 1 for trajectory comparisons).
+        engine: Braid engine for every point (None keeps the grid's
+            own engine — "flat" for the presets).
     """
     if isinstance(grid, str):
         spec = bench_grid(grid)
     else:
         spec, grid = grid, "custom"
+    if engine is not None and engine != spec.engine:
+        spec = dataclasses.replace(spec, engine=engine)
     cache = StageCache()
     runner = SweepRunner(cache=cache, workers=workers)
     start = time.perf_counter()
@@ -281,7 +302,8 @@ def run_bench(
             for stage, seconds in sorted(result.stats.seconds.items())
         },
         total_seconds=round(total, 4),
-        environment=_environment(),
+        environment=_environment(result.workers),
+        engine=spec.engine,
     )
     if reference:
         # After a parallel sweep the stage artifacts live in worker
@@ -380,4 +402,40 @@ def compare_reports(
                 f"time > {base_ratio:.3f}x * (1 + {tolerance:.2f}) + "
                 f"{ratio_slack:.2f} slack"
             )
+    return failures
+
+
+def compare_engines(
+    current: BenchReport,
+    other: BenchReport,
+    tolerance: float = 0.25,
+) -> list[str]:
+    """Same-machine engine race; returns failure descriptions.
+
+    Gates ``current``'s braid speedup against ``other``'s on the same
+    grid — e.g. "the vectorized engine must not regress below the flat
+    engine".  Both reports need a reference pass: the speedup is
+    normalized by the reference simulator's time on each report's own
+    machine/run, so two reports from the same CI job compare cleanly
+    even across cache-warmth noise.
+    """
+    failures: list[str] = []
+    if current.grid != other.grid:
+        failures.append(
+            f"grid mismatch: {current.grid!r} vs {other.grid!r}"
+        )
+        return failures
+    if current.braid_speedup is None or other.braid_speedup is None:
+        failures.append(
+            "engine comparison needs reference passes on both reports "
+            "(run with reference=True / --reference)"
+        )
+        return failures
+    floor = other.braid_speedup * (1.0 - tolerance)
+    if current.braid_speedup < floor:
+        failures.append(
+            f"engine {current.engine!r} ({current.braid_speedup:.2f}x "
+            f"vs reference) regressed below engine {other.engine!r} "
+            f"({other.braid_speedup:.2f}x) * (1 - {tolerance:.2f})"
+        )
     return failures

@@ -30,10 +30,12 @@ import json
 import sys
 from typing import Optional, Sequence
 
+from ..network.braidsim import ENGINES
 from .bench import (
     BENCH_GRIDS,
     RATIO_SLACK,
     BenchReport,
+    compare_engines,
     compare_reports,
     run_bench,
 )
@@ -129,6 +131,15 @@ def _add_point_options(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=64,
         help="EPR look-ahead window (logical cycles)",
+    )
+    parser.add_argument(
+        "--engine",
+        default="flat",
+        choices=sorted(ENGINES),
+        help=(
+            "braid engine (bit-identical results; vec needs the numpy "
+            "extra: pip install repro[vec])"
+        ),
     )
     parser.add_argument(
         "--cache-dir",
@@ -228,7 +239,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep process count (keep 1 for comparable stage timings)",
     )
     bench.add_argument(
+        "--engine",
+        default="flat",
+        choices=sorted(ENGINES),
+        help=(
+            "braid engine to measure (bit-identical results; vec needs "
+            "the numpy extra: pip install repro[vec])"
+        ),
+    )
+    bench.add_argument(
         "--out", default=None, help="write the bench report JSON here"
+    )
+    bench.add_argument(
+        "--not-slower-than",
+        default=None,
+        metavar="REPORT",
+        help=(
+            "saved bench report of another engine on the same grid; "
+            "fail if this run's braid speedup regresses below it by "
+            "more than --tolerance (both runs need --reference)"
+        ),
     )
     bench.add_argument(
         "--baseline",
@@ -377,6 +407,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         error_rate=args.error_rate,
         distance=args.distance,
         window=args.window,
+        engine=args.engine,
     )
     cache = StageCache(args.cache_dir)
     result = run_point(spec, cache)
@@ -427,6 +458,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             distance=(
                 args.distance if args.distance is not None else grid.distance
             ),
+            engine=args.engine,
         )
     else:
         grid = GridSpec(
@@ -441,6 +473,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             error_rate=args.error_rate,
             distance=args.distance,
             window=args.window,
+            engine=args.engine,
         )
     runner = SweepRunner(cache_dir=args.cache_dir, workers=args.workers)
     result = runner.run(grid)
@@ -467,8 +500,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         reference = True
+    if args.not_slower_than and not reference:
+        print(
+            "--not-slower-than compares braid speedups; "
+            "enabling --reference",
+            file=sys.stderr,
+        )
+        reference = True
     report = run_bench(
-        grid=args.grid, reference=reference, workers=args.workers
+        grid=args.grid,
+        reference=reference,
+        workers=args.workers,
+        engine=args.engine,
     )
     print(json.dumps(report.to_jsonable(), indent=1, sort_keys=True))
     if report.equivalence_checked:
@@ -505,6 +548,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"no regression against {args.baseline} "
             f"(tolerance {args.tolerance:.0%}; gated stages: "
             f"{', '.join(gated)})",
+            file=sys.stderr,
+        )
+    if args.not_slower_than:
+        other = BenchReport.load(args.not_slower_than)
+        failures = compare_engines(
+            report, other, tolerance=args.tolerance
+        )
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"engine {report.engine!r} ({report.braid_speedup:.2f}x) "
+            f"holds against {other.engine!r} "
+            f"({other.braid_speedup:.2f}x) from {args.not_slower_than}",
             file=sys.stderr,
         )
     return 0
@@ -677,3 +735,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except BrokenPipeError:
         # Downstream reader (e.g. `| head`) closed stdout early.
         return 0
+    except ImportError as error:
+        # Optional-dependency miss (e.g. --engine vec without numpy):
+        # surface the install hint instead of a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2

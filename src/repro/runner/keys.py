@@ -59,8 +59,12 @@ class StageKey:
     params: tuple[tuple[str, str], ...]
 
     @classmethod
-    def make(cls, stage: str, **params: Any) -> "StageKey":
-        """Build a key from keyword parameters (order-insensitive)."""
+    def make(cls, stage: str, /, **params: Any) -> "StageKey":
+        """Build a key from keyword parameters (order-insensitive).
+
+        ``cls`` and ``stage`` are positional-only, so parameters that
+        happen to share those names remain valid keyword arguments.
+        """
         items = tuple(
             (name, canonical_json(value))
             for name, value in sorted(params.items())

@@ -332,11 +332,17 @@ def compute_braid(
     policy: int = 6,
     distance: int = 5,
     optimize_layout: Optional[bool] = None,
+    engine: str = "flat",
 ) -> BraidSimResult:
     """Simulate the braid network for one (policy, distance).
 
     ``optimize_layout`` defaults to the policy's own layout flag
     (Policies 2+ use the interaction-aware layout, as in Figure 6).
+    ``engine`` selects the braid engine
+    (:data:`repro.network.braidsim.ENGINES`); all engines produce
+    bit-identical results, but the engine still keys the stage so
+    timing-trajectory runs never serve one engine's cold cost from
+    another's cached result.
     """
     name, size = _resolve(app, size)
     try:
@@ -355,13 +361,14 @@ def compute_braid(
         policy=policy,
         distance=distance,
         optimize_layout=optimize_layout,
+        engine=engine,
     )
 
     def simulate() -> BraidSimResult:
         plan = compute_braid_plan(
             cache, name, size, inline_depth, optimize_layout, distance
         )
-        return simulate_plan(plan, policy_obj)
+        return simulate_plan(plan, policy_obj, engine=engine)
 
     return cache.get_or_compute(
         key,
@@ -556,6 +563,9 @@ class PointSpec:
             frontend's error budget, as ``run_toolflow`` does).
         window: EPR look-ahead window in logical cycles.
         optimize_layout: Tiled layout override (None = policy default).
+        engine: Braid engine to simulate with
+            (:data:`repro.network.braidsim.ENGINES`); results are
+            bit-identical across engines, only timing differs.
     """
 
     app: str
@@ -568,6 +578,7 @@ class PointSpec:
     distance: Optional[int] = None
     window: int = 64
     optimize_layout: Optional[bool] = None
+    engine: str = "flat"
 
     def normalized(self) -> "PointSpec":
         """Canonical app name and resolved size, for stable keys."""
@@ -598,6 +609,7 @@ class PointSpec:
             distance=spec.distance,
             window=spec.window,
             optimize_layout=spec.optimize_layout,
+            engine=spec.engine,
         )
 
     def to_jsonable(self) -> dict:
@@ -682,6 +694,7 @@ def run_point(
             policy=spec.policy,
             distance=distance,
             optimize_layout=spec.optimize_layout,
+            engine=spec.engine,
         )
         epr = compute_epr(
             cache,

@@ -1,0 +1,376 @@
+"""Vectorized engine: three-way golden equivalence + batched-path properties.
+
+The vec engine's batched open-candidate prefilter must agree
+bit-for-bit with the flat engine and the preserved seed loop.  Beyond
+the three-way golden sweeps (which mirror the synthetic contention
+scenarios of ``test_braidsim_golden``), Hypothesis drives the batched
+primitives directly against their scalar definitions — word
+packing/unpacking, the policy lexsort vs ``_sort_opens``, and the
+blocked-candidate verdicts vs a per-route mask scan — and mutation
+guards pin down that the engine never writes the shared plan-derived
+arrays.  The no-numpy fallback (``ImportError`` naming the ``vec``
+extra) is tested by monkeypatching the module's ``np`` to ``None``, so
+it runs on every matrix leg including the numpy-less one.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import BraidMesh, BraidSimConfig, simulate_braids
+from repro.network import braidsim_vec
+from repro.network.braidsim import ENGINES, engine_class, simulate_plan
+from repro.network.plan import BraidPlan
+from repro.network.policies import POLICIES
+from repro.partition import GridShape, naive_layout
+from repro.qasm import Circuit
+
+np = braidsim_vec.np
+requires_numpy = pytest.mark.skipif(
+    np is None, reason="vec engine needs the numpy optional extra"
+)
+
+
+def assert_engines_agree(circuit, placement, rows, cols, policy, distance,
+                         factories=(), config=None):
+    results = {
+        engine: simulate_braids(
+            circuit, placement, BraidMesh(rows, cols), policy, distance,
+            factory_routers=factories, config=config, engine=engine,
+        )
+        for engine in ("flat", "vec", "reference")
+    }
+    assert results["vec"] == results["flat"]
+    assert results["vec"] == results["reference"]
+    return results["vec"]
+
+
+@requires_numpy
+class TestThreeEngineGolden:
+    """The golden synthetic scenarios, now across all three engines."""
+
+    @pytest.mark.parametrize("policy", range(7))
+    def test_crossing_braids_tiny_mesh(self, policy):
+        qubits = [f"q{i}" for i in range(4)]
+        placement = naive_layout(qubits, GridShape(2, 2))
+        c = Circuit(qubits=qubits)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                c.apply("CNOT", f"q{i}", f"q{j}")
+        result = assert_engines_agree(c, placement, 2, 2, policy, 3)
+        assert result.operations == 6
+
+    @pytest.mark.parametrize("policy", range(7))
+    def test_serializing_1x2_mesh_forces_drops(self, policy):
+        qubits = ["q0", "q1"]
+        placement = naive_layout(qubits, GridShape(1, 2))
+        c = Circuit(qubits=qubits)
+        for _ in range(6):
+            c.apply("CNOT", "q0", "q1")
+        config = BraidSimConfig(adaptive_timeout=1, drop_timeout=3)
+        assert_engines_agree(c, placement, 1, 2, policy, 4, config=config)
+
+    @pytest.mark.parametrize("policy", (0, 1, 5, 6))
+    def test_t_gates_with_factories(self, policy):
+        qubits = [f"q{i}" for i in range(6)]
+        placement = naive_layout(qubits, GridShape(2, 3))
+        factories = ((2, 0), (2, 3))
+        c = Circuit(qubits=qubits)
+        for i in range(6):
+            c.apply("T", f"q{i}")
+        for i in range(5):
+            c.apply("CNOT", f"q{i}", f"q{i + 1}")
+        c.apply("H", "q0")
+        assert_engines_agree(
+            c, placement, 2, 3, policy, 3, factories=factories
+        )
+
+
+def _wide_plan():
+    """16 qubits, 8 simultaneously-ready crossing CNOTs on a 4x4 mesh.
+
+    Wide enough (>= _BATCH_MIN ready opens in round one) that the vec
+    engine's batched classify path must engage.
+    """
+    qubits = [f"q{i}" for i in range(16)]
+    placement = naive_layout(qubits, GridShape(4, 4))
+    c = Circuit(qubits=qubits)
+    for i in range(8):
+        c.apply("CNOT", f"q{i}", f"q{15 - i}")
+    for i in range(8):
+        c.apply("CNOT", f"q{i}", f"q{(i + 8) % 16}")
+    return BraidPlan.build(c, placement, BraidMesh(4, 4), distance=3)
+
+
+@requires_numpy
+class TestBatchedPath:
+    """The >= _BATCH_MIN path engages and stays bit-identical."""
+
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return _wide_plan()
+
+    @pytest.mark.parametrize("policy", range(7))
+    def test_wide_rounds_match_flat(self, plan, policy):
+        assert simulate_plan(plan, policy, engine="vec") == simulate_plan(
+            plan, policy, engine="flat"
+        )
+
+    @pytest.mark.parametrize("policy", (1, 4, 5, 6))
+    def test_batched_classify_fires(self, plan, policy):
+        class CountingVec(braidsim_vec.VecBraidSimulator):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.batched_rounds = 0
+
+            def _classify_opens(self, *args, **kwargs):
+                self.batched_rounds += 1
+                return super()._classify_opens(*args, **kwargs)
+
+        sim = CountingVec(policy=POLICIES[policy], plan=plan)
+        result = sim.run()
+        assert sim.batched_rounds > 0, (
+            "circuit too narrow to exercise the batched path"
+        )
+        assert result == simulate_plan(plan, policy, engine="flat")
+
+
+def _multiword_plan():
+    """A plan on a 6x6 mesh: 84 links, so masks span two uint64 words."""
+    qubits = [f"q{i}" for i in range(36)]
+    placement = naive_layout(qubits, GridShape(6, 6))
+    c = Circuit(qubits=qubits)
+    for i in range(18):
+        c.apply("CNOT", f"q{i}", f"q{35 - i}")
+    c.apply("H", "q0")
+    return BraidPlan.build(c, placement, BraidMesh(6, 6), distance=3)
+
+
+_MULTIWORD_CACHE: dict = {}
+
+
+def _multiword_state():
+    """(plan, braid op indices, num_links) built once per process."""
+    if "state" not in _MULTIWORD_CACHE:
+        plan = _multiword_plan()
+        braid_ops = [
+            op for op in range(plan.num_ops) if plan.is_braid[op]
+        ]
+        num_links = (plan.rows + 1) * plan.cols + plan.rows * (
+            plan.cols + 1
+        )
+        _MULTIWORD_CACHE["state"] = (plan, braid_ops, num_links)
+    return _MULTIWORD_CACHE["state"]
+
+
+def _scalar_would_fail(plan, op, occ, adaptive):
+    """The flat engine's failure predicate for a first-segment open.
+
+    Non-adaptive opens only probe the dominant route; adaptive opens
+    fail iff *every* alternative of the segment's pair is blocked.
+    """
+    seg = plan.segments[op][0]
+    if not adaptive:
+        return bool(seg[5] & occ)
+    return all(
+        mask & occ for _, mask in plan.routes.alternatives(seg[0], seg[1])
+    )
+
+
+@requires_numpy
+class TestBatchedPrimitivesProperties:
+    """Hypothesis: batched verdicts == the scalar ``_try_open`` decision."""
+
+    @given(
+        words=st.integers(min_value=1, max_value=3),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mask_words_round_trip(self, words, data):
+        mask = data.draw(
+            st.integers(min_value=0, max_value=(1 << (64 * words)) - 1)
+        )
+        row = braidsim_vec._mask_words(mask, words)
+        assert row.shape == (words,)
+        assert not row.flags.writeable
+        assert braidsim_vec._words_mask(row) == mask
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_classify_matches_scalar_decision(self, data):
+        plan, braid_ops, num_links = _multiword_state()
+        occ = data.draw(
+            st.integers(min_value=0, max_value=(1 << num_links) - 1)
+        )
+        ops = data.draw(
+            st.lists(
+                st.sampled_from(braid_ops), min_size=1, max_size=12,
+                unique=True,
+            )
+        )
+        adaptive_flags = data.draw(
+            st.lists(
+                st.booleans(), min_size=len(ops), max_size=len(ops)
+            )
+        )
+        sim = braidsim_vec.VecBraidSimulator(
+            policy=POLICIES[1], plan=plan
+        )
+        time = sim.config.adaptive_timeout
+        for op, adaptive in zip(ops, adaptive_flags):
+            # time - wait_start >= adaptive_timeout <=> adaptive
+            sim._wait_start[op] = 0 if adaptive else time
+        definite_fail, adaptive_arr = sim._classify_opens(
+            ops, time, sim._occ_words(occ), use_memo=False
+        )
+        for i, (op, adaptive) in enumerate(zip(ops, adaptive_flags)):
+            assert bool(adaptive_arr[i]) == adaptive
+            assert bool(definite_fail[i]) == _scalar_would_fail(
+                plan, op, occ, adaptive
+            )
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_bank_all_blocked_matches_route_scan(self, data):
+        plan, braid_ops, num_links = _multiword_state()
+        occ = data.draw(
+            st.integers(min_value=0, max_value=(1 << num_links) - 1)
+        )
+        ops = data.draw(
+            st.lists(
+                st.sampled_from(braid_ops), min_size=1, max_size=12,
+                unique=True,
+            )
+        )
+        sim = braidsim_vec.VecBraidSimulator(
+            policy=POLICIES[0], plan=plan
+        )
+        verdicts = sim._bank_all_blocked(ops, sim._occ_words(occ))
+        for op, verdict in zip(ops, verdicts):
+            assert bool(verdict) == _scalar_would_fail(
+                plan, op, occ, adaptive=True
+            )
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_lexsort_matches_sort_opens(self, data):
+        plan, braid_ops, _ = _multiword_state()
+        policy = data.draw(st.integers(min_value=0, max_value=6))
+        ops = data.draw(
+            st.lists(
+                st.sampled_from(braid_ops), min_size=1, max_size=14,
+                unique=True,
+            )
+        )
+        # Arrival stamps come from a global counter in the simulator,
+        # so they are unique by construction; _sort_opens relies on it.
+        arrivals = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=50),
+                min_size=len(ops), max_size=len(ops), unique=True,
+            )
+        )
+        sim = braidsim_vec.VecBraidSimulator(
+            policy=POLICIES[policy], plan=plan
+        )
+        for op, arrival in zip(ops, arrivals):
+            sim._arrival[op] = arrival
+        assert sim._ordered_opens_vec(list(ops)) == sim._sort_opens(
+            list(ops)
+        )
+
+
+@requires_numpy
+class TestPlanStaysReadOnly:
+    """Mutation guards: simulations never write the shared arrays."""
+
+    def test_shared_arrays_unchanged_across_policies(self):
+        plan = _wide_plan()
+        vec = braidsim_vec.vec_plan_arrays(plan)
+        # Bind every pair up front so the bank snapshot is complete.
+        for segs in plan.segments:
+            for seg in segs:
+                vec.pair_span(seg[0], seg[1])
+        bank_before = vec.bank_matrix().copy()
+        lengths_before = vec.route_length.copy()
+        crit_before = list(plan.criticality())
+        segments_before = plan.segments
+        for policy in range(7):
+            simulate_plan(plan, policy, engine="vec")
+        assert np.array_equal(vec.bank_matrix(), bank_before)
+        assert np.array_equal(vec.route_length, lengths_before)
+        assert list(plan.criticality()) == crit_before
+        assert plan.segments is segments_before
+
+    def test_segment_rows_are_read_only(self):
+        plan = _wide_plan()
+        vec = braidsim_vec.vec_plan_arrays(plan)
+        rows = [row for op_rows in vec.seg_rows for row in op_rows]
+        assert rows, "plan has no braid segments"
+        for row in rows:
+            assert not row.flags.writeable
+        with pytest.raises(ValueError, match="read-only"):
+            rows[0][0] = 1
+
+    def test_plan_arrays_memo_is_identity_checked(self):
+        plan = _wide_plan()
+        vec = braidsim_vec.vec_plan_arrays(plan)
+        assert braidsim_vec.vec_plan_arrays(plan) is vec
+        other = _wide_plan()
+        assert braidsim_vec.vec_plan_arrays(other) is not vec
+
+
+class TestEngineSelection:
+    """Engine resolution and the no-numpy fallback contract."""
+
+    def test_engine_registry(self):
+        assert set(ENGINES) == {"flat", "vec", "reference"}
+        from repro.network.braidsim import BraidSimulator
+
+        assert engine_class("flat") is BraidSimulator
+        from repro.network._braidsim_reference import (
+            ReferenceBraidSimulator,
+        )
+
+        assert engine_class("reference") is ReferenceBraidSimulator
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(KeyError, match="unknown braid engine"):
+            engine_class("turbo")
+
+    @requires_numpy
+    def test_vec_engine_resolves_with_numpy(self):
+        assert engine_class("vec") is braidsim_vec.VecBraidSimulator
+
+    def test_vec_without_numpy_names_the_extra(self, monkeypatch):
+        monkeypatch.setattr(braidsim_vec, "np", None)
+        with pytest.raises(ImportError, match=r"repro\[vec\]"):
+            engine_class("vec")
+        with pytest.raises(ImportError, match=r"repro\[vec\]"):
+            braidsim_vec.VecBraidSimulator(
+                policy=POLICIES[0], plan=object()
+            )
+        with pytest.raises(ImportError, match=r"repro\[vec\]"):
+            braidsim_vec.vec_plan_arrays(object())
+
+    def test_flat_engine_needs_no_numpy(self, monkeypatch):
+        monkeypatch.setattr(braidsim_vec, "np", None)
+        qubits = ["q0", "q1"]
+        placement = naive_layout(qubits, GridShape(1, 2))
+        c = Circuit(qubits=qubits)
+        c.apply("CNOT", "q0", "q1")
+        result = simulate_braids(
+            c, placement, BraidMesh(1, 2), 0, 3, engine="flat"
+        )
+        assert result.operations == 1
+
+    def test_simulate_braids_vec_without_numpy_raises(self, monkeypatch):
+        monkeypatch.setattr(braidsim_vec, "np", None)
+        qubits = ["q0", "q1"]
+        placement = naive_layout(qubits, GridShape(1, 2))
+        c = Circuit(qubits=qubits)
+        c.apply("CNOT", "q0", "q1")
+        with pytest.raises(ImportError, match=r"repro\[vec\]"):
+            simulate_braids(
+                c, placement, BraidMesh(1, 2), 0, 3, engine="vec"
+            )

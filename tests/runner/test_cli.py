@@ -8,7 +8,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.runner.cli import _parse_policies, _parse_size
+from repro.runner.bench import BenchReport
+from repro.runner.cli import _parse_policies, _parse_size, build_parser, main
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -39,6 +40,91 @@ class TestArgParsing:
         assert _parse_size("default", "sq") is None
         assert _parse_size("small", "sq") == 3
         assert _parse_size("7", "sq") == 7
+
+
+def _bench_report(**overrides) -> BenchReport:
+    base = dict(
+        grid="tiny",
+        points=21,
+        workers=1,
+        stage_seconds={"braid_sim": 2.0, "braid_plan": 0.5},
+        total_seconds=4.0,
+        reference_braid_seconds=10.0,
+        braid_speedup=4.0,
+        equivalence_checked=21,
+        engine="vec",
+    )
+    base.update(overrides)
+    return BenchReport(**base)
+
+
+class TestEngineFlags:
+    def test_engine_choices_on_run_sweep_bench(self):
+        parser = build_parser()
+        for argv in (
+            ["run", "sq", "--engine", "vec"],
+            ["sweep", "--apps", "sq", "--engine", "vec"],
+            ["bench", "--engine", "vec"],
+        ):
+            assert parser.parse_args(argv).engine == "vec"
+        assert parser.parse_args(["bench"]).engine == "flat"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--engine", "turbo"])
+
+    def test_missing_numpy_is_a_clean_cli_error(self, monkeypatch, capsys):
+        def boom(**kwargs):
+            raise ImportError("vec engine needs numpy (repro[vec])")
+
+        monkeypatch.setattr("repro.runner.cli.run_bench", boom)
+        assert main(["bench", "--engine", "vec"]) == 2
+        assert "error: vec engine needs numpy" in capsys.readouterr().err
+
+
+class TestNotSlowerThanGate:
+    def test_holds_against_other_engine(
+        self, monkeypatch, capsys, tmp_path
+    ):
+        other = tmp_path / "flat.json"
+        _bench_report(engine="flat", braid_speedup=3.0).save(other)
+        monkeypatch.setattr(
+            "repro.runner.cli.run_bench",
+            lambda **kwargs: _bench_report(),
+        )
+        assert main(
+            ["bench", "--engine", "vec", "--reference",
+             "--not-slower-than", str(other)]
+        ) == 0
+        assert "holds against" in capsys.readouterr().err
+
+    def test_regression_fails_the_gate(
+        self, monkeypatch, capsys, tmp_path
+    ):
+        other = tmp_path / "flat.json"
+        _bench_report(engine="flat", braid_speedup=8.0).save(other)
+        monkeypatch.setattr(
+            "repro.runner.cli.run_bench",
+            lambda **kwargs: _bench_report(braid_speedup=4.0),
+        )
+        assert main(
+            ["bench", "--engine", "vec", "--reference",
+             "--not-slower-than", str(other)]
+        ) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_gate_forces_reference_pass(self, monkeypatch, tmp_path):
+        other = tmp_path / "flat.json"
+        _bench_report(engine="flat", braid_speedup=3.0).save(other)
+        seen = {}
+
+        def record(**kwargs):
+            seen.update(kwargs)
+            return _bench_report()
+
+        monkeypatch.setattr("repro.runner.cli.run_bench", record)
+        main(["bench", "--not-slower-than", str(other)])
+        assert seen["reference"] is True
 
 
 @pytest.mark.slow
