@@ -3,7 +3,10 @@
 * :mod:`repro.runner.keys` -- stable stage-invocation identities.
 * :mod:`repro.runner.cache` -- memory + on-disk JSON result cache.
 * :mod:`repro.runner.stages` -- the pipeline stages + grid points.
-* :mod:`repro.runner.sweep` -- grid expansion, dedup, process fan-out.
+* :mod:`repro.runner.sweep` -- grid expansion, dedup, process fan-out,
+  checkpoint/resume journaling.
+* :mod:`repro.runner.faults` -- retry/backoff/deadline policies,
+  per-point failure records, deterministic fault injection.
 * :mod:`repro.runner.bench` -- cold-cache stage timing + regression gate.
 * :mod:`repro.runner.report` -- figure/table rendering from the cache.
 * :mod:`repro.runner.cli` -- ``python -m repro``
@@ -16,6 +19,17 @@ and the CI regression gate.
 
 from .bench import BenchReport, compare_reports, run_bench
 from .cache import CacheStats, StageCache
+from .faults import (
+    FaultAction,
+    FaultPlan,
+    InjectedFault,
+    PointFailure,
+    PointTimeout,
+    RetryPolicy,
+    SweepAborted,
+    execute_point,
+    set_fault_plan,
+)
 from .keys import StageKey
 from .stages import (
     PointResult,
@@ -37,6 +51,15 @@ __all__ = [
     "CacheStats",
     "StageCache",
     "StageKey",
+    "FaultAction",
+    "FaultPlan",
+    "InjectedFault",
+    "PointFailure",
+    "PointTimeout",
+    "RetryPolicy",
+    "SweepAborted",
+    "execute_point",
+    "set_fault_plan",
     "PointResult",
     "PointSpec",
     "compute_scaling",

@@ -20,12 +20,23 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Iterator, Mapping, Optional
 
+from .faults import active_plan
 from .keys import StageKey
 
-__all__ = ["CacheStats", "StageCache", "CACHE_FORMAT_VERSION"]
+__all__ = [
+    "CacheStats",
+    "StageCache",
+    "CACHE_FORMAT_VERSION",
+    "QUARANTINE_DIR",
+]
 
 CACHE_FORMAT_VERSION = 1
 """Bump to invalidate on-disk payloads when stage semantics change."""
+
+QUARANTINE_DIR = "quarantine"
+"""Subdirectory of the disk cache holding corrupt entries moved aside
+(each with a ``.reason.txt`` sidecar) instead of being silently
+recomputed over."""
 
 
 @dataclasses.dataclass
@@ -171,7 +182,17 @@ class StageCache:
         start = time.perf_counter()
         self._child_seconds.append(0.0)
         try:
+            plan = active_plan()
+            if plan is not None:
+                plan.check("compute", key)
             value = compute()
+        except BaseException as error:
+            # Tag the *innermost* stage so isolation layers can report
+            # where a point actually died (the tag survives re-raising
+            # through enclosing stage frames).
+            if not hasattr(error, "_repro_stage"):
+                error._repro_stage = key.stage
+            raise
         finally:
             elapsed = time.perf_counter() - start
             nested = self._child_seconds.pop()
@@ -186,18 +207,51 @@ class StageCache:
         return value
 
     def load_payload(self, key: StageKey) -> Optional[Any]:
-        """Read a persisted JSON payload, or None if absent/stale."""
+        """Read a persisted JSON payload, or None if absent/stale.
+
+        An entry that exists but no longer parses is *quarantined* --
+        moved to ``<disk_dir>/quarantine/<stage>/`` with a
+        ``.reason.txt`` sidecar -- before the miss is reported, so
+        corrupt entries are preserved as evidence instead of being
+        silently recomputed over.
+        """
         if self.disk_dir is None:
             return None
         path = self._path(key)
         try:
             with open(path, encoding="utf-8") as handle:
                 record = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError as error:
+            self.quarantine(path, f"undecodable JSON: {error}")
+            return None
+        except OSError:
             return None
         if record.get("format") != CACHE_FORMAT_VERSION:
             return None
         return record.get("value")
+
+    def quarantine(self, path: Path, reason: str) -> Optional[Path]:
+        """Move a problematic disk entry aside with a reason sidecar.
+
+        Returns the quarantined path (None if the move failed, e.g.
+        the entry vanished concurrently).  Quarantined entries are
+        counted by :meth:`disk_stats` and listed by :meth:`verify`.
+        """
+        if self.disk_dir is None:
+            return None
+        target_dir = self.disk_dir / QUARANTINE_DIR / path.parent.name
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            target = target_dir / path.name
+            os.replace(path, target)
+            target.with_suffix(".reason.txt").write_text(
+                reason + "\n", encoding="utf-8"
+            )
+        except OSError:
+            return None
+        return target
 
     def store_payload(self, key: StageKey, payload: Any) -> None:
         """Atomically persist a JSON payload for ``key``."""
@@ -223,6 +277,11 @@ class StageCache:
             except OSError:
                 pass
             raise
+        plan = active_plan()
+        if plan is not None:
+            for action in plan.check("store", key):
+                if action.op == "corrupt":
+                    path.write_text("{corrupt", encoding="utf-8")
 
     def iter_payloads(self, stage: str) -> Iterator[dict[str, Any]]:
         """Yield all persisted records ({key, value}) for one stage."""
@@ -245,7 +304,20 @@ class StageCache:
     def _stage_dirs(self) -> list[Path]:
         if self.disk_dir is None or not self.disk_dir.is_dir():
             return []
-        return sorted(p for p in self.disk_dir.iterdir() if p.is_dir())
+        return sorted(
+            p
+            for p in self.disk_dir.iterdir()
+            if p.is_dir() and p.name != QUARANTINE_DIR
+        )
+
+    def quarantined_count(self) -> int:
+        """Number of entries currently held in quarantine."""
+        if self.disk_dir is None:
+            return 0
+        quarantine = self.disk_dir / QUARANTINE_DIR
+        if not quarantine.is_dir():
+            return 0
+        return sum(1 for _ in quarantine.glob("*/*.json"))
 
     def disk_stats(self) -> dict[str, Any]:
         """Entry counts, byte sizes, and age range of the disk level."""
@@ -281,6 +353,7 @@ class StageCache:
             "stages": stages,
             "total_entries": total_entries,
             "total_bytes": total_bytes,
+            "quarantined": self.quarantined_count(),
         }
 
     def prune(
@@ -345,6 +418,7 @@ class StageCache:
         stale_format: list[str] = []
         mismatched: list[str] = []
         invalid_payload: list[dict[str, str]] = []
+        quarantined: list[str] = []
         for stage_dir in self._stage_dirs():
             payload_check = payload_checks.get(stage_dir.name)
             for path in sorted(stage_dir.glob("*.json")):
@@ -352,8 +426,13 @@ class StageCache:
                 try:
                     with open(path, encoding="utf-8") as handle:
                         record = json.load(handle)
-                except (OSError, json.JSONDecodeError):
+                except (OSError, json.JSONDecodeError) as error:
                     corrupt.append(str(path))
+                    moved = self.quarantine(
+                        path, f"failed verify: {error}"
+                    )
+                    if moved is not None:
+                        quarantined.append(str(moved))
                     continue
                 if record.get("format") != CACHE_FORMAT_VERSION:
                     stale_format.append(str(path))
@@ -388,6 +467,8 @@ class StageCache:
             "stale_format": stale_format,
             "mismatched": mismatched,
             "invalid_payload": invalid_payload,
+            "quarantined": quarantined,
+            "quarantined_total": self.quarantined_count(),
         }
 
     def clear_memory(self) -> None:

@@ -5,8 +5,13 @@ Subcommands:
 * ``run APP`` -- one grid point through the staged pipeline; prints the
   result as JSON (and caches it if ``--cache-dir`` is given).
 * ``sweep`` -- a declarative grid (or the ``fig6`` preset) through the
-  :class:`~repro.runner.sweep.SweepRunner`, with shared-work dedup and
-  optional process parallelism; persists results as JSON.
+  :class:`~repro.runner.sweep.SweepRunner`, with shared-work dedup,
+  optional process parallelism, and fault tolerance (per-point
+  isolation, ``--max-failures``/``--fail-fast``, retries with
+  ``--max-attempts``/``--retry-delay``, per-point ``--timeout``,
+  checkpoint ``--resume``); persists results as JSON.  Exit codes:
+  0 = every point completed, 3 = completed with isolated failures
+  (listed in the report), 1 = aborted past the failure budget.
 * ``report`` -- re-render Figures 6-9 and Tables 1-2 from cached
   results (``--cache-dir``) or a saved sweep file (``--results``).
 * ``bench`` -- cold-cache stage-timing measurement through
@@ -40,6 +45,8 @@ from .bench import (
     run_bench,
 )
 from .cache import StageCache
+from .faults import RetryPolicy, SweepAborted
+from .report import render_failures
 from .stages import TECH_PRESETS, PointSpec, run_point
 from .sweep import (
     DEFAULT_APPS,
@@ -48,6 +55,7 @@ from .sweep import (
     SweepResult,
     SweepRunner,
     fig6_grid,
+    journal_path,
 )
 
 __all__ = ["main", "build_parser"]
@@ -213,6 +221,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--out", default=None, help="write the sweep results JSON here"
+    )
+    sweep.add_argument(
+        "--max-failures",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "abort once more than N points have failed (0 = fail fast, "
+            "the default; negative = never abort, isolate everything)"
+        ),
+    )
+    sweep.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="explicit spelling of --max-failures 0",
+    )
+    sweep.add_argument(
+        "--max-attempts",
+        type=int,
+        default=1,
+        metavar="N",
+        help="attempts per point before it is recorded as failed",
+    )
+    sweep.add_argument(
+        "--retry-delay",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help=(
+            "base exponential-backoff delay between attempts "
+            "(deterministically jittered; see --jitter-seed)"
+        ),
+    )
+    sweep.add_argument(
+        "--jitter-seed",
+        type=int,
+        default=0,
+        help="seed for the deterministic backoff jitter",
+    )
+    sweep.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-point deadline; a point past it counts as failed "
+            "(and wedged workers are recycled)"
+        ),
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "revive finished points from <out>.partial.jsonl and run "
+            "only the remainder (requires --out)"
+        ),
+    )
+    sweep.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="FILE",
+        help=(
+            "JSON fault-injection plan (testing: see "
+            "repro.runner.faults.FaultPlan)"
+        ),
     )
 
     bench = sub.add_parser(
@@ -475,20 +548,97 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             window=args.window,
             engine=args.engine,
         )
-    runner = SweepRunner(cache_dir=args.cache_dir, workers=args.workers)
-    result = runner.run(grid)
+    max_failures: Optional[int] = args.max_failures
+    if args.fail_fast:
+        if max_failures != 0:
+            print(
+                "error: --fail-fast conflicts with a nonzero "
+                "--max-failures",
+                file=sys.stderr,
+            )
+            return 2
+        max_failures = 0
+    elif max_failures is not None and max_failures < 0:
+        max_failures = None
+    if args.resume and not args.out:
+        print(
+            "error: --resume needs --out (the journal lives at "
+            "<out>.partial.jsonl)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.fault_plan:
+        from pathlib import Path
+
+        from .faults import FaultPlan, set_fault_plan
+
+        try:
+            plan = FaultPlan.from_json(
+                Path(args.fault_plan).read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError, KeyError, TypeError) as err:
+            print(
+                f"error: unreadable fault plan {args.fault_plan}: {err}",
+                file=sys.stderr,
+            )
+            return 2
+        set_fault_plan(plan)
+    retry = RetryPolicy(
+        max_attempts=args.max_attempts,
+        base_delay=args.retry_delay,
+        jitter_seed=args.jitter_seed,
+        timeout_s=args.timeout,
+    )
+    journal = journal_path(args.out) if args.out else None
+    runner = SweepRunner(
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        retry=retry,
+        max_failures=max_failures,
+    )
+    try:
+        result = runner.run(grid, journal=journal, resume=args.resume)
+    except SweepAborted as error:
+        print(f"error: {error}", file=sys.stderr)
+        print(render_failures(error.failures), file=sys.stderr)
+        if journal is not None and journal.exists():
+            print(
+                f"journal kept at {journal}; rerun with --resume to "
+                "continue from the finished points",
+                file=sys.stderr,
+            )
+        return 1
     print(
         f"swept {len(result.points)} points in "
         f"{result.elapsed_seconds:.2f}s with {result.workers} worker(s)",
         file=sys.stderr,
     )
     print(f"cache: {result.stats.summary()}", file=sys.stderr)
+    if result.degraded:
+        print(
+            f"{len(result.degraded)} point(s) degraded to the flat "
+            "engine",
+            file=sys.stderr,
+        )
+    if not result.ok:
+        print(render_failures(result.failures), file=sys.stderr)
     if args.out:
         result.save(args.out)
         print(f"results written to {args.out}", file=sys.stderr)
+        if journal is not None and journal.exists():
+            if result.ok:
+                # Everything landed in the final report: the
+                # checkpoint has served its purpose.
+                journal.unlink()
+            else:
+                print(
+                    f"journal kept at {journal}; rerun with --resume "
+                    "to retry only the failed points",
+                    file=sys.stderr,
+                )
     else:
         print(json.dumps(result.to_jsonable(), indent=1))
-    return 0
+    return 0 if result.ok else 3
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -673,7 +823,17 @@ def _cmd_report(args: argparse.Namespace) -> int:
     cache = StageCache(args.cache_dir)
     if args.figure in ("fig6", "table2"):
         if args.results:
-            points = SweepResult.load(args.results).points
+            result = SweepResult.load(args.results)
+            points = result.points
+            if not result.ok:
+                # A schema-2 report may be partial: say which points
+                # are missing instead of rendering silently short.
+                print(
+                    f"warning: {len(result.failures)} failed point(s) "
+                    "absent from this report",
+                    file=sys.stderr,
+                )
+                print(render_failures(result.failures), file=sys.stderr)
         elif args.cache_dir:
             points = renderers.load_points(cache)
         else:

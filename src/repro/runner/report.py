@@ -28,6 +28,7 @@ from .stages import PointResult
 __all__ = [
     "load_points",
     "measure_table1",
+    "render_failures",
     "render_fig6",
     "render_fig7",
     "render_fig8",
@@ -35,6 +36,24 @@ __all__ = [
     "render_table1",
     "render_table2",
 ]
+
+
+def render_failures(failures: Sequence) -> str:
+    """One line per :class:`~repro.runner.faults.PointFailure`.
+
+    Used by the CLI to summarize a partially failed sweep next to the
+    figures rendered from its surviving points.
+    """
+    lines = []
+    for failure in failures:
+        spec = failure.spec
+        lines.append(
+            f"FAILED {spec.app}[{spec.size}] policy={spec.policy} "
+            f"engine={spec.engine}: {failure.error_type} in stage "
+            f"{failure.stage!r} after {failure.attempts} attempt(s): "
+            f"{failure.error}"
+        )
+    return "\n".join(lines)
 
 
 def load_points(cache: StageCache) -> list[PointResult]:

@@ -622,7 +622,14 @@ class PointSpec:
 
 @dataclasses.dataclass(frozen=True)
 class PointResult:
-    """All pipeline outputs for one grid point (JSON round-trippable)."""
+    """All pipeline outputs for one grid point (JSON round-trippable).
+
+    ``degraded_from`` names the engine the point was *asked* to run
+    with when the fault-tolerance layer fell back to the ``flat``
+    engine (results are bit-identical across engines, so the numbers
+    are unaffected; only the execution path differs).  It is None for
+    points that ran on their requested engine.
+    """
 
     spec: PointSpec
     distance: int
@@ -631,6 +638,7 @@ class PointResult:
     epr: EprPipelineResult
     planar: SpaceTimeEstimate
     double_defect: SpaceTimeEstimate
+    degraded_from: Optional[str] = None
 
     @property
     def preferred_code(self) -> str:
@@ -648,6 +656,7 @@ class PointResult:
             "epr": dataclasses.asdict(self.epr),
             "planar": dataclasses.asdict(self.planar),
             "double_defect": dataclasses.asdict(self.double_defect),
+            "degraded_from": self.degraded_from,
             "derived": {
                 "schedule_to_critical_ratio": (
                     self.braid.schedule_to_critical_ratio
@@ -668,6 +677,7 @@ class PointResult:
             epr=EprPipelineResult(**payload["epr"]),
             planar=SpaceTimeEstimate(**payload["planar"]),
             double_defect=SpaceTimeEstimate(**payload["double_defect"]),
+            degraded_from=payload.get("degraded_from"),
         )
 
 

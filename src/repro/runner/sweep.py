@@ -1,4 +1,4 @@
-"""Declarative grid sweeps with shared-work dedup and process fan-out.
+"""Declarative grid sweeps with dedup, fan-out, and fault tolerance.
 
 A :class:`GridSpec` expands into :class:`PointSpec` grid points (the
 cross product the paper's figures sweep: application x size x policy x
@@ -17,29 +17,65 @@ its worker process, so a group split into ``k`` chunks compiles its
 frontend at most ``k`` times; with ``workers <= groups`` the split
 degenerates to one chunk per group and every frontend is compiled
 exactly once across the pool, as before.
+
+Execution is fault tolerant (see :mod:`repro.runner.faults`):
+
+* every point runs isolated -- an exception becomes a structured
+  :class:`~repro.runner.faults.PointFailure` inside the
+  :class:`SweepResult` instead of losing the sweep, up to the runner's
+  ``max_failures`` budget (0, the default, keeps fail-fast semantics
+  by raising :exc:`~repro.runner.faults.SweepAborted` on the first
+  failure);
+* points retry with deterministic exponential backoff and a per-point
+  deadline under a :class:`~repro.runner.faults.RetryPolicy`;
+* a crashed worker (``BrokenProcessPool``) or a wedged chunk only
+  costs its unfinished chunks, which are re-queued on a rebuilt pool;
+* completed points are journaled to ``<out>.partial.jsonl`` as they
+  land, so an interrupted sweep resumes (``python -m repro sweep
+  --resume``) without recomputing journaled points.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import json
+import math
+import os
 import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import Iterable, Mapping, Optional, Sequence, Union
 
 from ..apps.registry import SIM_SIZES
 from .cache import CacheStats, StageCache
-from .stages import PointResult, PointSpec, frontend_key, run_point
+from .faults import (
+    PointFailure,
+    RetryPolicy,
+    SweepAborted,
+    active_plan,
+    execute_point,
+)
+from .stages import PointResult, PointSpec, frontend_key
 
 __all__ = [
     "GridSpec",
     "SweepResult",
     "SweepRunner",
     "fig6_grid",
+    "journal_path",
+    "load_journal",
     "SMALL_SIM_SIZES",
+    "SWEEP_SCHEMA_VERSION",
 ]
 
 DEFAULT_APPS: tuple[str, ...] = ("gse", "sq", "sha1", "im")
+
+SWEEP_SCHEMA_VERSION = 2
+"""Schema of persisted sweep reports.  v1 (pre-fault-tolerance) had no
+``schema`` field and no ``failures``; the loader accepts both."""
 
 SMALL_SIM_SIZES: dict[str, int] = dict(SIM_SIZES)
 """Per-app "small" instance sizes (a copy of the registry's
@@ -140,20 +176,36 @@ class SweepResult:
     """Outcome of one sweep.
 
     Attributes:
-        points: One result per deduplicated grid point, in grid order.
+        points: One result per *completed* deduplicated grid point, in
+            grid order (failed points are absent here).
         stats: Cache hit/miss counters for this sweep (all workers).
         elapsed_seconds: Wall-clock time of the sweep.
         workers: Process count used (1 = in-process serial).
+        failures: Structured records of every point that exhausted its
+            retry policy (empty on a fully successful sweep).
     """
 
     points: list[PointResult]
     stats: CacheStats
     elapsed_seconds: float
     workers: int
+    failures: list[PointFailure] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every grid point completed."""
+        return not self.failures
+
+    @property
+    def degraded(self) -> list[PointResult]:
+        """Points that fell back to the ``flat`` engine."""
+        return [p for p in self.points if p.degraded_from is not None]
 
     def to_jsonable(self) -> dict:
         return {
+            "schema": SWEEP_SCHEMA_VERSION,
             "points": [p.to_jsonable() for p in self.points],
+            "failures": [f.to_jsonable() for f in self.failures],
             "stats": self.stats.as_dict(),
             "elapsed_seconds": self.elapsed_seconds,
             "workers": self.workers,
@@ -161,6 +213,20 @@ class SweepResult:
 
     @classmethod
     def from_jsonable(cls, payload: dict) -> "SweepResult":
+        schema = payload.get("schema", 1)
+        if not isinstance(schema, int) or schema < 1:
+            raise ValueError(f"invalid sweep report schema {schema!r}")
+        if schema > SWEEP_SCHEMA_VERSION:
+            raise ValueError(
+                f"sweep report schema {schema} is newer than this "
+                f"codebase understands (<= {SWEEP_SCHEMA_VERSION})"
+            )
+        # v1 reports predate fault tolerance: no failures were
+        # recordable, so an empty list is exact, not a guess.
+        failures = [
+            PointFailure.from_jsonable(f)
+            for f in payload.get("failures", [])
+        ]
         return cls(
             points=[
                 PointResult.from_jsonable(p) for p in payload["points"]
@@ -168,34 +234,131 @@ class SweepResult:
             stats=CacheStats.from_dict(payload.get("stats", {})),
             elapsed_seconds=payload.get("elapsed_seconds", 0.0),
             workers=payload.get("workers", 1),
+            failures=failures,
         )
 
     def save(self, path: Union[str, Path]) -> None:
-        import json
-
         Path(path).write_text(
             json.dumps(self.to_jsonable(), indent=1), encoding="utf-8"
         )
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "SweepResult":
-        import json
-
         return cls.from_jsonable(
             json.loads(Path(path).read_text(encoding="utf-8"))
         )
 
 
-def _run_group(
-    spec_payloads: list[dict], cache_dir: Optional[str]
+# ---------------------------------------------------------------------------
+# Checkpoint journal
+
+
+def journal_path(out: Union[str, Path]) -> Path:
+    """The checkpoint journal companion of a sweep output file."""
+    return Path(f"{out}.partial.jsonl")
+
+
+def _journal_append(path: Path, point: PointResult) -> None:
+    """Durably append one finished point to the journal.
+
+    One JSON object per line, flushed and fsynced, so a sweep killed
+    mid-run loses at most the point being written (a torn final line
+    is skipped by :func:`load_journal`).  A resumed sweep may append
+    after such a torn line, so the write re-establishes the line
+    boundary first -- otherwise the new record would fuse with the
+    fragment and both would be lost.
+    """
+    line = json.dumps(
+        {
+            "schema": SWEEP_SCHEMA_VERSION,
+            "digest": point.spec.key().digest,
+            "point": point.to_jsonable(),
+        },
+        separators=(",", ":"),
+    )
+    prefix = ""
+    try:
+        with open(path, "rb") as tail:
+            tail.seek(-1, os.SEEK_END)
+            if tail.read(1) != b"\n":
+                prefix = "\n"
+    except OSError:  # absent or empty journal: already at a boundary
+        pass
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(prefix + line + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def load_journal(path: Union[str, Path]) -> dict[str, PointResult]:
+    """Revive journaled points as ``{spec digest: result}``.
+
+    Torn or corrupt lines (a SIGKILL mid-append) and entries whose
+    recomputed spec digest disagrees with the recorded one are
+    silently skipped: the sweep recomputes those points.
+    """
+    path = Path(path)
+    revived: dict[str, PointResult] = {}
+    if not path.exists():
+        return revived
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                point = PointResult.from_jsonable(record["point"])
+            except (
+                json.JSONDecodeError,
+                KeyError,
+                TypeError,
+                ValueError,
+            ):
+                continue
+            digest = point.spec.key().digest
+            if record.get("digest") not in (None, digest):
+                continue
+            revived[digest] = point
+    return revived
+
+
+# ---------------------------------------------------------------------------
+# Worker entry point
+
+
+def _run_chunk(
+    spec_payloads: list[dict],
+    cache_dir: Optional[str],
+    retry_payload: Optional[dict],
 ) -> dict:
-    """Worker entry point: run one frontend-sharing group of points."""
+    """Worker entry point: run one chunk of points, isolated per point."""
+    plan = active_plan()
+    if plan is not None:
+        # "stall" injection point: a wedged worker the pool-level
+        # watchdog must recycle (cooperative deadlines can't see it).
+        plan.check("chunk")
     cache = StageCache(cache_dir)
-    points = [
-        run_point(PointSpec.from_jsonable(payload), cache).to_jsonable()
-        for payload in spec_payloads
-    ]
-    return {"points": points, "stats": cache.stats.as_dict()}
+    retry = (
+        RetryPolicy.from_jsonable(retry_payload)
+        if retry_payload is not None
+        else RetryPolicy()
+    )
+    points: list[dict] = []
+    failures: list[dict] = []
+    for payload in spec_payloads:
+        outcome = execute_point(
+            PointSpec.from_jsonable(payload), cache, retry
+        )
+        if isinstance(outcome, PointFailure):
+            failures.append(outcome.to_jsonable())
+        else:
+            points.append(outcome.to_jsonable())
+    return {
+        "points": points,
+        "failures": failures,
+        "stats": cache.stats.as_dict(),
+    }
 
 
 class SweepRunner:
@@ -210,6 +373,18 @@ class SweepRunner:
             work-stealing chunks of frontend-sharing groups out to a
             process pool (splitting the braid stage inside a group
             when workers outnumber groups).
+        retry: Per-point retry/backoff/deadline policy (default: one
+            attempt, no deadline).
+        max_failures: Failure budget.  The sweep aborts with
+            :exc:`~repro.runner.faults.SweepAborted` once *more* than
+            this many points have failed; ``0`` (default) is the
+            historical fail-fast behavior, ``None`` never aborts.
+        pool_retries: How many times a chunk lost to a crashed or
+            wedged worker is re-queued on a rebuilt pool before its
+            points are recorded as failures.
+        pool_grace: Additive slack (seconds) on the pool watchdog
+            budget derived from ``retry.timeout_s``; only meaningful
+            when a per-point deadline is set.
     """
 
     def __init__(
@@ -217,39 +392,152 @@ class SweepRunner:
         cache: Optional[StageCache] = None,
         cache_dir: Optional[Union[str, Path]] = None,
         workers: int = 1,
+        retry: Optional[RetryPolicy] = None,
+        max_failures: Optional[int] = 0,
+        pool_retries: int = 2,
+        pool_grace: float = 30.0,
     ):
         if cache is None:
             cache = StageCache(cache_dir)
         self.cache = cache
         self.workers = max(1, workers)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.max_failures = max_failures
+        self.pool_retries = max(0, pool_retries)
+        self.pool_grace = pool_grace
 
     def run(
-        self, grid: Union[GridSpec, Iterable[PointSpec]]
+        self,
+        grid: Union[GridSpec, Iterable[PointSpec]],
+        journal: Optional[Union[str, Path]] = None,
+        resume: bool = False,
     ) -> SweepResult:
-        """Execute every grid point, computing shared prefixes once."""
+        """Execute every grid point, computing shared prefixes once.
+
+        Args:
+            grid: Grid (or explicit point list) to sweep.
+            journal: Checkpoint file; every finished point is appended
+                as it lands, and a fresh (non-resume) run truncates any
+                stale journal first.
+            resume: Revive journaled points instead of recomputing
+                them; only the remainder of the grid executes.
+        """
         if isinstance(grid, GridSpec):
             specs = grid.expand()
         else:
             specs = _dedup(grid)
         start = time.perf_counter()
+        done: dict[str, PointResult] = {}
+        if journal is not None:
+            journal = Path(journal)
+            if resume:
+                revived = load_journal(journal)
+                wanted = {s.key().digest for s in specs}
+                done = {
+                    digest: point
+                    for digest, point in revived.items()
+                    if digest in wanted
+                }
+            elif journal.exists():
+                journal.unlink()
+            journal.parent.mkdir(parents=True, exist_ok=True)
+        todo = [s for s in specs if s.key().digest not in done]
+        failures: list[PointFailure] = []
         before = CacheStats.from_dict(self.cache.stats.as_dict())
-        if self.workers == 1 or len(specs) <= 1:
-            points = [run_point(spec, self.cache) for spec in specs]
+        if self.workers == 1 or len(todo) <= 1:
+            for spec in todo:
+                outcome = execute_point(spec, self.cache, self.retry)
+                if isinstance(outcome, PointFailure):
+                    failures.append(outcome)
+                    self._maybe_abort(failures)
+                else:
+                    done[outcome.spec.key().digest] = outcome
+                    if journal is not None:
+                        _journal_append(journal, outcome)
             stats = _diff(self.cache.stats, before)
             workers = 1
         else:
-            points, stats = self._run_parallel(specs)
+            stats = self._run_parallel(todo, done, failures, journal)
             workers = self.workers
+        order = {s.key().digest: i for i, s in enumerate(specs)}
+        failures.sort(
+            key=lambda f: order.get(f.spec.key().digest, len(order))
+        )
         return SweepResult(
-            points=points,
+            points=[
+                done[s.key().digest]
+                for s in specs
+                if s.key().digest in done
+            ],
             stats=stats,
             elapsed_seconds=time.perf_counter() - start,
             workers=workers,
+            failures=failures,
         )
 
+    def _maybe_abort(self, failures: list[PointFailure]) -> None:
+        if self.max_failures is None:
+            return
+        if len(failures) <= self.max_failures:
+            return
+        last = failures[-1]
+        raise SweepAborted(
+            f"sweep aborted: {len(failures)} point failure(s) exceeded "
+            f"max_failures={self.max_failures} "
+            f"(last: {last.error_type} in stage {last.stage!r}: "
+            f"{last.error})",
+            failures=list(failures),
+        )
+
+    def _pool_budget(
+        self, batch: Sequence[tuple], max_workers: int
+    ) -> Optional[float]:
+        """Watchdog budget for one pool round (None = no deadline).
+
+        The cooperative per-point deadline inside each worker is the
+        precise mechanism; this budget is the backstop that catches a
+        worker wedged *outside* it (e.g. stuck before the point even
+        starts).  A worker serializes at most ``ceil(chunks /
+        workers)`` chunks, each point of which gets its full retry
+        schedule plus one degradation attempt; ``pool_grace`` covers
+        process startup and backoff sleeps on top.
+        """
+        timeout_s = self.retry.timeout_s
+        if timeout_s is None:
+            return None
+        per_point = timeout_s * (self.retry.max_attempts + 1)
+        longest = max(len(chunk) for _, chunk, _ in batch)
+        waves = math.ceil(len(batch) / max(1, max_workers))
+        return per_point * longest * waves + self.pool_grace
+
+    def _fail_chunk(
+        self,
+        failures: list[PointFailure],
+        chunk: Sequence[PointSpec],
+        tries: int,
+        error: str,
+        error_type: str,
+        stage: str,
+    ) -> None:
+        for spec in chunk:
+            failures.append(
+                PointFailure(
+                    spec=spec,
+                    stage=stage,
+                    error=error,
+                    error_type=error_type,
+                    attempts=tries + 1,
+                    elapsed_seconds=0.0,
+                )
+            )
+
     def _run_parallel(
-        self, specs: Sequence[PointSpec]
-    ) -> tuple[list[PointResult], CacheStats]:
+        self,
+        specs: Sequence[PointSpec],
+        done: dict[str, PointResult],
+        failures: list[PointFailure],
+        journal: Optional[Path],
+    ) -> CacheStats:
         """Fan work-stealing chunks of frontend groups out to a pool.
 
         With more workers than frontend groups, each group's points --
@@ -258,6 +546,12 @@ class SweepRunner:
         itself parallelizes instead of serializing behind one worker
         per group.  The pool queue is the steal queue: idle workers
         take whichever chunk is next.
+
+        The pool is *recyclable*: a chunk lost to a crashed worker
+        (``BrokenProcessPool``) or to a wedged worker (the watchdog
+        budget expiring) is re-queued up to ``pool_retries`` times on
+        a freshly built pool; only the unfinished chunks are re-run,
+        results that already landed are kept.
         """
         groups: dict[str, list[PointSpec]] = {}
         for spec in specs:
@@ -281,26 +575,97 @@ class SweepRunner:
             if self.cache.disk_dir is not None
             else None
         )
+        retry_payload = self.retry.to_jsonable()
         stats = CacheStats()
-        by_digest: dict[str, PointResult] = {}
-        max_workers = min(self.workers, len(chunks))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = [
+        queue: deque[tuple[int, list[PointSpec], int]] = deque(
+            (cid, chunk, 0) for cid, chunk in enumerate(chunks)
+        )
+        while queue:
+            batch = list(queue)
+            queue.clear()
+            max_workers = min(self.workers, len(batch))
+            budget = self._pool_budget(batch, max_workers)
+            pool = ProcessPoolExecutor(max_workers=max_workers)
+            futures = {
                 pool.submit(
-                    _run_group,
+                    _run_chunk,
                     [spec.to_jsonable() for spec in chunk],
                     cache_dir,
+                    retry_payload,
+                ): (cid, chunk, tries)
+                for cid, chunk, tries in batch
+            }
+            hung = False
+            try:
+                for future in as_completed(
+                    list(futures), timeout=budget
+                ):
+                    cid, chunk, tries = futures.pop(future)
+                    try:
+                        payload = future.result()
+                    except (BrokenProcessPool, OSError) as error:
+                        # Worker crashed (OOM-kill, segfault): rebuild
+                        # the pool and re-queue only this chunk.
+                        self._recycle_chunk(
+                            queue, failures, cid, chunk, tries,
+                            repr(error), type(error).__name__, "pool",
+                        )
+                        continue
+                    except Exception as error:
+                        # The chunk runner itself failed before any
+                        # per-point isolation could engage.
+                        self._recycle_chunk(
+                            queue, failures, cid, chunk, tries,
+                            repr(error), type(error).__name__, "pool",
+                        )
+                        continue
+                    stats.merge(CacheStats.from_dict(payload["stats"]))
+                    for failure_payload in payload["failures"]:
+                        failures.append(
+                            PointFailure.from_jsonable(failure_payload)
+                        )
+                    for point_payload in payload["points"]:
+                        point = PointResult.from_jsonable(point_payload)
+                        done[point.spec.key().digest] = point
+                        if journal is not None:
+                            _journal_append(journal, point)
+            except FuturesTimeout:
+                hung = True
+            for future, (cid, chunk, tries) in futures.items():
+                self._recycle_chunk(
+                    queue,
+                    failures,
+                    cid,
+                    chunk,
+                    tries,
+                    f"chunk {cid} unfinished after the pool "
+                    f"{'watchdog budget expired' if hung else 'broke'}",
+                    "PointTimeout" if hung else "BrokenProcessPool",
+                    "timeout" if hung else "pool",
                 )
-                for chunk in chunks
-            ]
-            for future in as_completed(futures):
-                payload = future.result()
-                stats.merge(CacheStats.from_dict(payload["stats"]))
-                for point_payload in payload["points"]:
-                    point = PointResult.from_jsonable(point_payload)
-                    by_digest[point.spec.key().digest] = point
-        # Preserve grid order regardless of completion order.
-        return [by_digest[s.key().digest] for s in specs], stats
+            # A wedged worker never drains its queue: don't block on
+            # it -- abandon the pool and let the process reap at exit.
+            pool.shutdown(wait=not hung, cancel_futures=True)
+            self._maybe_abort(failures)
+        return stats
+
+    def _recycle_chunk(
+        self,
+        queue: deque,
+        failures: list[PointFailure],
+        cid: int,
+        chunk: list[PointSpec],
+        tries: int,
+        error: str,
+        error_type: str,
+        stage: str,
+    ) -> None:
+        if tries < self.pool_retries:
+            queue.append((cid, chunk, tries + 1))
+        else:
+            self._fail_chunk(
+                failures, chunk, tries, error, error_type, stage
+            )
 
 
 def _dedup(specs: Iterable[PointSpec]) -> list[PointSpec]:

@@ -200,3 +200,177 @@ class TestCliSmoke:
         proc = _repro("report", "fig6")
         assert proc.returncode == 2
         assert "needs --results or --cache-dir" in proc.stderr
+
+
+TINY_SWEEP = (
+    "sweep",
+    "--apps",
+    "sq",
+    "--size",
+    "2",
+    "--policies",
+    "0,6",
+    "--distance",
+    "3",
+)
+
+
+class TestSweepFaultCli:
+    """Exit codes and flag plumbing of the fault-tolerant sweep:
+    0 = all ok, 3 = completed with isolated failures, 1 = aborted,
+    2 = usage errors."""
+
+    @pytest.fixture(autouse=True)
+    def _no_leaked_fault_plan(self):
+        from repro.runner import set_fault_plan
+
+        set_fault_plan(None)
+        yield
+        set_fault_plan(None)
+
+    def _plan_file(self, tmp_path, **action_kwargs):
+        from repro.runner import FaultAction, FaultPlan
+
+        path = tmp_path / "plan.json"
+        path.write_text(
+            FaultPlan([FaultAction(**action_kwargs)]).to_json(),
+            encoding="utf-8",
+        )
+        return str(path)
+
+    def test_isolated_failures_exit_3(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        code = main(
+            [
+                *TINY_SWEEP,
+                "--out",
+                str(out),
+                "--max-failures",
+                "-1",
+                "--fault-plan",
+                self._plan_file(
+                    tmp_path,
+                    op="raise",
+                    stage="braid_sim",
+                    match='"policy": 0',
+                    once=False,
+                ),
+            ]
+        )
+        assert code == 3
+        stderr = capsys.readouterr().err
+        assert "FAILED sq[2] policy=0" in stderr
+        assert "journal kept" in stderr
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["schema"] == 2
+        assert len(payload["points"]) == 1
+        assert len(payload["failures"]) == 1
+        assert payload["failures"][0]["stage"] == "braid_sim"
+        # The journal survives for --resume.
+        assert out.with_name("sweep.json.partial.jsonl").exists()
+
+    def test_resume_after_failures_exits_0_and_drops_journal(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "sweep.json"
+        code = main(
+            [
+                *TINY_SWEEP,
+                "--out",
+                str(out),
+                "--max-failures",
+                "-1",
+                "--fault-plan",
+                self._plan_file(
+                    tmp_path,
+                    op="raise",
+                    stage="braid_sim",
+                    match='"policy": 0',
+                    once=False,
+                ),
+            ]
+        )
+        assert code == 3
+        from repro.runner import set_fault_plan
+
+        set_fault_plan(None)
+        capsys.readouterr()
+        code = main([*TINY_SWEEP, "--out", str(out), "--resume"])
+        assert code == 0
+        stderr = capsys.readouterr().err
+        assert "swept 2 points" in stderr
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert len(payload["points"]) == 2
+        assert payload["failures"] == []
+        assert not out.with_name("sweep.json.partial.jsonl").exists()
+
+    def test_abort_exits_1(self, tmp_path, capsys):
+        code = main(
+            [
+                *TINY_SWEEP,
+                "--fault-plan",
+                self._plan_file(
+                    tmp_path, op="raise", stage="braid_sim"
+                ),
+            ]
+        )
+        assert code == 1
+        stderr = capsys.readouterr().err
+        assert "sweep aborted" in stderr
+        assert "FAILED sq[2]" in stderr
+
+    def test_retry_flags_recover_exit_0(self, tmp_path, capsys):
+        code = main(
+            [
+                *TINY_SWEEP,
+                "--max-attempts",
+                "2",
+                "--fault-plan",
+                self._plan_file(
+                    tmp_path, op="raise", stage="braid_sim"
+                ),
+            ]
+        )
+        assert code == 0
+        assert "swept 2 points" in capsys.readouterr().err
+
+    def test_fail_fast_conflicts_with_budget(self, capsys):
+        code = main(
+            [*TINY_SWEEP, "--fail-fast", "--max-failures", "2"]
+        )
+        assert code == 2
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_resume_requires_out(self, capsys):
+        code = main([*TINY_SWEEP, "--resume"])
+        assert code == 2
+        assert "--resume needs --out" in capsys.readouterr().err
+
+    def test_unreadable_fault_plan_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "plan.json"
+        bad.write_text("{not json", encoding="utf-8")
+        code = main([*TINY_SWEEP, "--fault-plan", str(bad)])
+        assert code == 2
+        assert "unreadable fault plan" in capsys.readouterr().err
+
+    def test_cache_stats_reports_quarantine(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        code = main(
+            [*TINY_SWEEP, "--cache-dir", str(cache_dir)]
+        )
+        assert code == 0
+        entry = sorted((cache_dir / "point").glob("*.json"))[0]
+        entry.write_text("{corrupt", encoding="utf-8")
+        capsys.readouterr()
+        code = main(
+            ["cache", "verify", "--cache-dir", str(cache_dir)]
+        )
+        assert code == 1
+        verify_payload = json.loads(capsys.readouterr().out)
+        assert verify_payload["quarantined_total"] == 1
+        code = main(
+            ["cache", "stats", "--cache-dir", str(cache_dir)]
+        )
+        assert code == 0
+        stats_payload = json.loads(capsys.readouterr().out)
+        assert stats_payload["quarantined"] == 1
