@@ -1,10 +1,11 @@
 """Braid scheduling policy exploration (the Figure 6 experiment).
 
-Sweeps all seven prioritization policies on a workload of your choice
-through the staged :class:`repro.runner.SweepRunner`: the frontend is
-compiled once and shared by every policy (see the cache statistics the
-run prints), and results persist to an on-disk cache so re-runs are
-instant.
+Sweeps the paper's seven prioritization policies plus the two
+classical-scheduler families (7 reservation-table, 8 matrix-scoreboard)
+on a workload of your choice through the staged
+:class:`repro.runner.SweepRunner`: the frontend is compiled once and
+shared by every policy (see the cache statistics the run prints), and
+results persist to an on-disk cache so re-runs are instant.
 
 Run:  python examples/braid_policies.py [app] [size] [cache_dir]
       (defaults: im 12, no disk cache)
@@ -17,11 +18,11 @@ from repro.runner import GridSpec, SweepRunner
 
 
 def main(app: str = "im", size: int = 12, cache_dir: str | None = None) -> None:
-    print(f"sweeping {app}[{size}] over policies 0-6 ...")
+    print(f"sweeping {app}[{size}] over policies 0-8 ...")
     grid = GridSpec(
         apps=(app,),
         sizes={app: size},
-        policies=tuple(range(7)),
+        policies=tuple(range(9)),
         distance=5,
     )
     runner = SweepRunner(cache_dir=cache_dir)

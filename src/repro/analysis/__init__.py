@@ -38,6 +38,7 @@ __all__ = [
     "check_dag",
     "check_placement",
     "check_plan",
+    "check_sched",
     "check_point_artifacts",
     "check_grid",
     "stage_verifier",
@@ -51,6 +52,7 @@ _LAZY = {
     "check_dag": "ir_checks",
     "check_placement": "ir_checks",
     "check_plan": "ir_checks",
+    "check_sched": "ir_checks",
     "check_point_artifacts": "ir_checks",
     "CheckReport": "verify",
     "check_grid": "verify",

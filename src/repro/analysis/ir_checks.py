@@ -31,6 +31,13 @@ Passes:
   derived arrays (:mod:`repro.network.braidsim_vec`) repacked to
   big-int masks and compared against the plan they were derived
   from; a no-op returning ``[]`` when numpy is absent.
+* :func:`check_sched` — the scheduler-family artifacts of
+  :mod:`repro.network.policies_sched`: the reservation schedule is
+  replayed against a fresh modulo table (no double-booked link-cycle
+  slot, dependence-respecting reserved cycles, achieved initiation
+  interval >= the recomputed ``ii()`` bound, makespan >= the critical
+  path), and the scoreboard dependency matrix is rebuilt from the
+  DAG's successor lists and compared row for row.
 
 All passes return ``list[Diagnostic]`` (empty == verified) and never
 raise on malformed input; :func:`check_point_artifacts` composes them
@@ -54,6 +61,7 @@ __all__ = [
     "check_dag",
     "check_placement",
     "check_plan",
+    "check_sched",
     "check_vec_plan",
     "check_point_artifacts",
 ]
@@ -691,6 +699,184 @@ def check_vec_plan(
 
 
 # ---------------------------------------------------------------------------
+# Scheduler-family pass (policies 7/8 artifacts)
+
+
+def check_sched(
+    plan: BraidPlan,
+    artifact: str = "plan",
+    schedule=None,
+    matrix=None,
+) -> list[Diagnostic]:
+    """Verify the scheduler-family artifacts derived from ``plan``.
+
+    By default validates exactly what the engines will use — the
+    memoized :func:`~repro.network.policies_sched.reservation_schedule`
+    and :func:`~repro.network.policies_sched.scoreboard_matrix` of this
+    plan; pass ``schedule``/``matrix`` to audit externally revived or
+    suspect artifacts instead.
+
+    The reservation schedule is *replayed*: every reserved window is
+    re-booked into a fresh :class:`~repro.network.policies_sched.
+    ReservationTable` (any overlap on a link-cycle slot is a
+    double-book), ready times are recomputed from the DAG with the
+    simulator's exact latencies, and the achieved initiation interval
+    and makespan are checked against the independently recomputed
+    ``ii()`` bound and the plan's critical path.
+    """
+    from ..network.policies_sched import (
+        ReservationTable,
+        ii_lower_bound,
+        reservation_schedule,
+        scoreboard_matrix,
+    )
+
+    out: list[Diagnostic] = []
+    n = plan.num_ops
+    if schedule is None:
+        schedule = reservation_schedule(plan)
+    if matrix is None:
+        matrix = scoreboard_matrix(plan)
+
+    # -- reservation schedule -------------------------------------------
+    structural = False
+    if len(schedule.reserved) != n or len(schedule.finish) != n:
+        out.append(_diag(
+            Severity.ERROR, "sched", artifact, "reserved",
+            f"schedule covers {len(schedule.reserved)} ops "
+            f"(finish: {len(schedule.finish)}) for a {n}-op plan",
+        ))
+        structural = True
+    if schedule.ii < 1:
+        out.append(_diag(
+            Severity.ERROR, "sched", artifact, "ii",
+            f"initiation interval {schedule.ii} is not positive",
+        ))
+        structural = True
+    if not structural:
+        bound = ii_lower_bound(plan)
+        if schedule.ii_lower != bound:
+            out.append(_diag(
+                Severity.ERROR, "sched", artifact, "ii",
+                f"recorded ii lower bound {schedule.ii_lower} != "
+                f"recomputed link-pressure bound {bound}",
+            ))
+        if schedule.ii < bound:
+            out.append(_diag(
+                Severity.ERROR, "sched", artifact, "ii",
+                f"achieved initiation interval {schedule.ii} is below "
+                f"the ii() lower bound {bound}",
+            ))
+        table = ReservationTable(schedule.ii)
+        ready = [0] * n
+        makespan = 0
+        for op in range(n):
+            where = f"op {op}"
+            opens = schedule.reserved[op]
+            if not plan.is_braid[op]:
+                if opens:
+                    out.append(_diag(
+                        Severity.ERROR, "sched", artifact, where,
+                        f"local op carries {len(opens)} reserved "
+                        "cycles (must be none)",
+                    ))
+                end = ready[op] + plan.tasks[op].local_cycles
+            else:
+                segments = plan.segments[op]
+                if len(opens) != len(segments):
+                    out.append(_diag(
+                        Severity.ERROR, "sched", artifact, where,
+                        f"{len(opens)} reserved cycles for "
+                        f"{len(segments)} braid segments",
+                    ))
+                    end = schedule.finish[op]  # keep the sweep going
+                else:
+                    cursor = ready[op]
+                    for index, (seg, cycle) in enumerate(
+                        zip(segments, opens)
+                    ):
+                        hold, mask = seg[2], seg[5]
+                        if cycle < cursor:
+                            out.append(_diag(
+                                Severity.ERROR, "sched", artifact,
+                                f"{where} segment {index}",
+                                f"reserved at cycle {cycle} before its "
+                                f"dependence-ready cycle {cursor}",
+                            ))
+                        try:
+                            table.book(cycle, hold + 2, mask)
+                        except ValueError as error:
+                            out.append(_diag(
+                                Severity.ERROR, "sched", artifact,
+                                f"{where} segment {index}",
+                                f"double-books the table: {error}",
+                            ))
+                        cursor = cycle + 1 + hold
+                    end = cursor
+            if end != schedule.finish[op]:
+                out.append(_diag(
+                    Severity.ERROR, "sched", artifact, where,
+                    f"recorded finish {schedule.finish[op]} != replayed "
+                    f"finish {end}",
+                ))
+            if end > makespan:
+                makespan = end
+            for succ in plan.successors[op]:
+                if end > ready[succ]:
+                    ready[succ] = end
+        if makespan != schedule.makespan:
+            out.append(_diag(
+                Severity.ERROR, "sched", artifact, "makespan",
+                f"recorded makespan {schedule.makespan} != replayed "
+                f"makespan {makespan}",
+            ))
+        if schedule.makespan < plan.critical_path:
+            out.append(_diag(
+                Severity.ERROR, "sched", artifact, "makespan",
+                f"makespan {schedule.makespan} is below the plan's "
+                f"critical path {plan.critical_path}",
+            ))
+
+    # -- scoreboard dependency matrix -----------------------------------
+    if len(matrix) != n:
+        out.append(_diag(
+            Severity.ERROR, "sched", artifact, "matrix",
+            f"dependency matrix has {len(matrix)} rows for {n} ops",
+        ))
+        return out
+    expected = [0] * n
+    for op, succs in enumerate(plan.successors):
+        bit = 1 << op
+        for succ in succs:
+            expected[succ] |= bit
+    for op in range(n):
+        row = matrix[op]
+        where = f"op {op}"
+        if row >> n:
+            out.append(_diag(
+                Severity.ERROR, "sched", artifact, where,
+                "matrix row has dependency bits beyond the op range",
+            ))
+        if row & (1 << op):
+            out.append(_diag(
+                Severity.ERROR, "sched", artifact, where,
+                "matrix row marks the op as its own predecessor",
+            ))
+        if row.bit_count() != plan.in_degrees[op]:
+            out.append(_diag(
+                Severity.ERROR, "sched", artifact, where,
+                f"matrix row popcount {row.bit_count()} != plan "
+                f"in-degree {plan.in_degrees[op]}",
+            ))
+        if row != expected[op]:
+            out.append(_diag(
+                Severity.ERROR, "sched", artifact, where,
+                "matrix row disagrees with the DAG's successor lists",
+            ))
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Composition
 
 
@@ -714,4 +900,5 @@ def check_point_artifacts(
         )
     if plan is not None:
         out.extend(check_plan(plan, artifact=artifact, strict=strict))
+        out.extend(check_sched(plan, artifact=artifact))
     return out

@@ -5,10 +5,10 @@ toolflow:
 
 * :func:`check_grid` — compile every unique (app, size, layout,
   distance) artifact of a sweep grid (Fig. 6 by default) and run all
-  passes over the lowered circuit, DAG, placement, braid plan, and
-  (when numpy is installed) the vectorized engine's derived word
-  arrays, returning a :class:`CheckReport` (this backs ``python -m
-  repro check``).
+  passes over the lowered circuit, DAG, placement, braid plan, the
+  scheduler-family reservation/scoreboard artifacts, and (when numpy
+  is installed) the vectorized engine's derived word arrays, returning
+  a :class:`CheckReport` (this backs ``python -m repro check``).
 * :func:`stage_verifier` — per-stage hooks for
   :meth:`StageCache.get_or_compute(verify=...)
   <repro.runner.cache.StageCache.get_or_compute>`: each checks the
@@ -32,6 +32,7 @@ from .ir_checks import (
     check_dag,
     check_placement,
     check_plan,
+    check_sched,
     check_vec_plan,
 )
 
@@ -148,6 +149,7 @@ def check_grid(
             check_plan(plan, artifact=artifact, strict=strict)
         )
         diagnostics.extend(check_vec_plan(plan, artifact=artifact))
+        diagnostics.extend(check_sched(plan, artifact=artifact))
     return CheckReport(
         points_checked=len(points),
         artifacts_checked=len(unique),

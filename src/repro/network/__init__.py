@@ -24,6 +24,16 @@ from .events import BraidSegment, OpTask, build_tasks
 from .mesh import BraidMesh, manhattan, path_links
 from .plan import BraidPlan, braid_plan, plan_memo_stats, reset_plan_memo
 from .policies import ALL_POLICIES, POLICIES, Policy
+from .policies_sched import (
+    MatrixScoreboard,
+    ReservationSchedule,
+    ReservationTable,
+    build_reservation,
+    dependency_matrix,
+    ii_lower_bound,
+    reservation_schedule,
+    scoreboard_matrix,
+)
 from .routing import (
     ROUTE_TABLE_CAPACITY,
     RouteTable,
@@ -49,6 +59,14 @@ __all__ = [
     "Policy",
     "POLICIES",
     "ALL_POLICIES",
+    "MatrixScoreboard",
+    "ReservationSchedule",
+    "ReservationTable",
+    "build_reservation",
+    "dependency_matrix",
+    "ii_lower_bound",
+    "reservation_schedule",
+    "scoreboard_matrix",
     "BraidSimConfig",
     "BraidSimResult",
     "BraidSimulator",

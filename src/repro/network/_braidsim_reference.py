@@ -314,6 +314,12 @@ def simulate_braids_reference(
     """Simulate one policy with the pre-optimization simulator."""
     if isinstance(policy, int):
         policy = POLICIES[policy]
+    if policy.family != "reactive":
+        raise ValueError(
+            f"{policy.name} ({policy.family} family) postdates the "
+            "preserved seed loop; its oracle is the flat-vs-vec "
+            "differential harness"
+        )
     sim = ReferenceBraidSimulator(
         circuit,
         placement,

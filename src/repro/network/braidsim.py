@@ -37,9 +37,18 @@ shared by all seven policy simulations (see :mod:`repro.network.plan`):
   Policy 6 — so each issue-fixpoint iteration re-sorts only what
   changed instead of the whole ready set.
 
-Results are bit-identical to the seed event loop, which is preserved in
-:mod:`repro.network._braidsim_reference` and enforced by the golden
-equivalence tests.
+The scheduler families (policies 7 and 8, machinery in
+:mod:`.policies_sched`) ride the same event loop: the reservation
+family gates ``_eligible_opens`` on each segment's reserved cycle and
+wakes ops exactly there, and the scoreboard family plugs a
+bitset-backed ready queue (oldest program index first) into the
+close-first issue path while a dependency bit-matrix tracks wakeups.
+
+For policies 0--6, results are bit-identical to the seed event loop,
+which is preserved in :mod:`repro.network._braidsim_reference` and
+enforced by the golden equivalence tests.  The scheduler families have
+no seed oracle; their contract is flat-vs-vec bit-identity, enforced
+by the cross-engine differential harness.
 """
 
 from __future__ import annotations
@@ -59,6 +68,12 @@ from .events import OpTask
 from .mesh import BraidMesh, Router
 from .plan import DEFAULT_MAX_DETOUR, BraidPlan, braid_plan
 from .policies import POLICIES, Policy
+from .policies_sched import (
+    MatrixScoreboard,
+    ScoreboardReadyQueue,
+    reservation_schedule,
+    scoreboard_matrix,
+)
 
 __all__ = [
     "BraidSimConfig",
@@ -434,8 +449,26 @@ class BraidSimulator:
         # combinations without a specialized queue fall back to
         # :meth:`_sort_opens`, which stays the semantic reference (the
         # golden tests assert the queues reproduce it exactly).
-        self._open_queue: Optional[_FifoReadyQueue | _BucketReadyQueue]
-        if policy.closes_first and policy.combined_length_rule:
+        # Scheduler families (policies 7/8): plan-derived artifacts,
+        # memoized per plan and shared with the vec engine and the IR
+        # verifier (see repro.network.policies_sched).
+        self._resv = (
+            reservation_schedule(plan)
+            if policy.family == "reservation"
+            else None
+        )
+        self._scoreboard = (
+            MatrixScoreboard(scoreboard_matrix(plan))
+            if policy.family == "scoreboard"
+            else None
+        )
+
+        self._open_queue: Optional[
+            _FifoReadyQueue | _BucketReadyQueue | ScoreboardReadyQueue
+        ]
+        if self._scoreboard is not None:
+            self._open_queue = ScoreboardReadyQueue(self._scoreboard)
+        elif policy.closes_first and policy.combined_length_rule:
             self._open_queue = _BucketReadyQueue(
                 self._criticality, self._route_length, self._arrival
             )
@@ -479,6 +512,14 @@ class BraidSimulator:
                 f"unfinished operations (first: {unfinished[:5]}); this "
                 "is a simulator bug"
             )
+        if self._scoreboard is not None:
+            dirty = self._scoreboard.outstanding()
+            if dirty:
+                raise RuntimeError(
+                    f"scoreboard finished with {dirty} rows still "
+                    "holding dependency bits; retire bookkeeping "
+                    "diverged from the event loop"
+                )
         critical = self.plan.critical_path
         total_time = max(self._completion_time, 1)
         return BraidSimResult(
@@ -518,6 +559,12 @@ class BraidSimulator:
             self._ready_opens.add(op)
             if self._open_queue is not None:
                 self._open_queue.add(op)
+            if self._resv is not None:
+                # Reserved-cycle gate: wake exactly when the table says
+                # this segment issues (no event may exist there yet).
+                cycle = self._resv.reserved[op][self._segment_index[op]]
+                if cycle > time:
+                    self._schedule_event(cycle, _WAKE, -1)
         else:
             # Local op: runs unconditionally for its duration.
             self._phase[op] = _HOLDING
@@ -529,6 +576,10 @@ class BraidSimulator:
         self._phase[op] = _DONE
         if time > self._completion_time:
             self._completion_time = time
+        if self._scoreboard is not None:
+            # Clear this op's column before readying successors, so a
+            # wakeup (zero row) is visible the moment an op is ready.
+            self._scoreboard.retire(op, self._successors)
         remaining = self._remaining_preds
         for succ in self._successors[op]:
             remaining[succ] -= 1
@@ -549,7 +600,18 @@ class BraidSimulator:
             # _WAKE entries only force a timestep.
         self._issue_events(time)
 
-    def _eligible_opens(self) -> list[int]:
+    def _eligible_opens(self, time: int) -> list[int]:
+        if self._resv is not None:
+            # Reservation gate: an op may only issue on (or after) its
+            # segment's reserved cycle; a _WAKE is always pending for
+            # gated ops, scheduled when they became ready.
+            reserved = self._resv.reserved
+            seg_index = self._segment_index
+            return [
+                op
+                for op in self._ready_opens
+                if reserved[op][seg_index[op]] <= time
+            ]
         if self.policy.interleave:
             return list(self._ready_opens)
         # Policy 0: the lowest-index incomplete braid op proceeds alone.
@@ -574,6 +636,10 @@ class BraidSimulator:
         """
         policy = self.policy
         arrival = self._arrival
+        if policy.family == "scoreboard":
+            # Oldest ready = lowest program index (matrix-wakeup age).
+            opens.sort()
+            return opens
         if policy.combined_length_rule:
             crit = self._criticality
             length = self._route_length
@@ -616,11 +682,11 @@ class BraidSimulator:
                 if self._open_queue is not None:
                     ordered = self._open_queue.ordered(self._ready_opens)
                 else:
-                    ordered = self._sort_opens(self._eligible_opens())
+                    ordered = self._sort_opens(self._eligible_opens(time))
                 sequence = [(op, True) for op in closes]
                 sequence += [(op, False) for op in ordered]
             else:
-                opens = self._eligible_opens()
+                opens = self._eligible_opens(time)
                 # Unprioritized: events interleave by program order.
                 # (The policy's open ordering collapses to op index
                 # here, exactly as the seed's merged sort did.)
@@ -659,6 +725,10 @@ class BraidSimulator:
             self._ready_opens.add(op)
             if self._open_queue is not None:
                 self._open_queue.add(op)
+            if self._resv is not None:
+                cycle = self._resv.reserved[op][self._segment_index[op]]
+                if cycle > time:
+                    self._schedule_event(cycle, _WAKE, -1)
 
     def _try_open(self, op: int, time: int) -> bool:
         config = self.config
@@ -727,6 +797,16 @@ class BraidSimulator:
         return True
 
 
+def _require_reference_support(policy: Policy) -> None:
+    """The preserved seed loop predates the scheduler families."""
+    if policy.family != "reactive":
+        raise ValueError(
+            f"{policy.name} ({policy.family} family) has no reference-"
+            "engine implementation; its oracle is the flat-vs-vec "
+            'differential harness (use engine="flat" or "vec")'
+        )
+
+
 def simulate_braids(
     circuit: Circuit,
     placement: Placement,
@@ -745,7 +825,7 @@ def simulate_braids(
         circuit: Flat Clifford+T circuit.
         placement: Data-qubit placement on the tile grid.
         mesh: Braid mesh matching the placement's grid.
-        policy: A :class:`Policy` or its paper number (0-6).
+        policy: A :class:`Policy` or its number (0-8).
         distance: Code distance d.
         code: Surface code variant (defaults to double-defect).
         factory_routers: Magic-state factory endpoints.
@@ -757,6 +837,7 @@ def simulate_braids(
     if isinstance(policy, int):
         policy = POLICIES[policy]
     if engine == "reference":
+        _require_reference_support(policy)
         from ._braidsim_reference import simulate_braids_reference
 
         return simulate_braids_reference(
@@ -803,6 +884,7 @@ def simulate_plan(
     if isinstance(policy, int):
         policy = POLICIES[policy]
     if engine == "reference":
+        _require_reference_support(policy)
         from ._braidsim_reference import simulate_braids_reference
 
         return simulate_braids_reference(

@@ -37,9 +37,15 @@ loop in :mod:`._braidsim_reference`, which the golden tests and every
 ``bench --reference`` run enforce.
 
 The plan-derived arrays (mask words, alternative bank, key arrays) are
-cached per :class:`~.plan.BraidPlan` identity and shared by all seven
+cached per :class:`~.plan.BraidPlan` identity and shared by all
 policy simulations of a design point; they are derived *from* the plan
 and never written back — the plan stays read-only.
+
+The scheduler families (policies 7/8) reuse this loop unchanged except
+that the scoreboard family's dependency rows and ready bitset are kept
+as ``<u8`` word arrays (:class:`_VecMatrixScoreboard`), so the
+oldest-ready selection is one ``unpackbits``/``nonzero`` pass — the
+vectorized select the flat engine's big-int walk mirrors bit for bit.
 
 numpy is an optional dependency (the ``vec`` extra): importing this
 module without it is fine, but constructing the engine raises an
@@ -57,6 +63,7 @@ except ImportError:  # pragma: no cover - exercised via monkeypatching
 
 from .braidsim import _WAKE, BraidSimulator
 from .plan import BraidPlan
+from .policies_sched import ScoreboardReadyQueue, scoreboard_matrix
 
 __all__ = ["VecBraidSimulator", "NUMPY_HINT", "vec_plan_arrays"]
 
@@ -150,6 +157,59 @@ class _VecPlanArrays:
         return self._matrix
 
 
+_WORD64 = 0xFFFFFFFFFFFFFFFF
+
+
+class _VecMatrixScoreboard:
+    """Word-packed flavor of :class:`~.policies_sched.MatrixScoreboard`.
+
+    Same bits, same protocol — dependency rows and the ready bitset
+    live as ``<u8`` word arrays (the engine's link-mask idiom), column
+    clears are fancy-indexed word ANDs, and the oldest-ready selection
+    is one ``unpackbits`` + ``nonzero`` over the ready words instead
+    of a per-bit Python walk.
+    """
+
+    __slots__ = ("rows_words", "ready_words", "num_ops")
+
+    def __init__(self, matrix, num_ops: int) -> None:
+        words = max(1, (num_ops + 63) // 64)
+        if num_ops:
+            self.rows_words = np.stack(
+                [_mask_words(row, words) for row in matrix]
+            ).copy()  # frombuffer rows are read-only; columns mutate
+        else:
+            self.rows_words = np.zeros((0, words), dtype=_WORD_DTYPE)
+        self.ready_words = np.zeros(words, dtype=_WORD_DTYPE)
+        self.num_ops = num_ops
+
+    def retire(self, op: int, successors) -> None:
+        succs = successors[op]
+        if succs:
+            clear = np.uint64(~(1 << (op & 63)) & _WORD64)
+            self.rows_words[list(succs), op >> 6] &= clear
+
+    def row_clear(self, op: int) -> bool:
+        return not self.rows_words[op].any()
+
+    def outstanding(self) -> int:
+        return int(self.rows_words.any(axis=1).sum())
+
+    def add_ready(self, op: int) -> None:
+        self.ready_words[op >> 6] |= np.uint64(1 << (op & 63))
+
+    def remove_ready(self, op: int) -> None:
+        self.ready_words[op >> 6] &= np.uint64(
+            ~(1 << (op & 63)) & _WORD64
+        )
+
+    def ordered_ready(self) -> list[int]:
+        bits = np.unpackbits(
+            self.ready_words.view(np.uint8), bitorder="little"
+        )
+        return np.nonzero(bits)[0].tolist()
+
+
 _VEC_MEMO: "OrderedDict[int, _VecPlanArrays]" = OrderedDict()
 VEC_MEMO_CAPACITY = 8
 
@@ -189,10 +249,19 @@ class VecBraidSimulator(BraidSimulator):
         if np is None:
             raise ImportError(NUMPY_HINT)
         super().__init__(*args, **kwargs)
-        # The incremental ready queues are superseded: small rounds
-        # sort directly (cheaper than queue upkeep at fig6's ready-set
-        # sizes), large rounds lexsort over prefetched arrays.
-        self._open_queue = None
+        if self._scoreboard is not None:
+            # Scoreboard family: swap in the word-packed flavor (same
+            # bits, vectorized select) before anything enqueues.
+            self._scoreboard = _VecMatrixScoreboard(
+                scoreboard_matrix(self.plan), self.num_ops
+            )
+            self._open_queue = ScoreboardReadyQueue(self._scoreboard)
+        else:
+            # The incremental ready queues are superseded: small rounds
+            # sort directly (cheaper than queue upkeep at fig6's
+            # ready-set sizes), large rounds lexsort over prefetched
+            # arrays.
+            self._open_queue = None
         vec = vec_plan_arrays(self.plan)
         self._vec = vec
         # Lazily bound (start, count) into the alternative bank,
@@ -375,11 +444,15 @@ class VecBraidSimulator(BraidSimulator):
             # Open candidates come from the pre-close ready set, as in
             # the flat engine (closes completing ops this round ready
             # their successors for the *next* fixpoint round).
-            opens = self._eligible_opens() if self._ready_opens else []
+            opens = self._eligible_opens(time) if self._ready_opens else []
             k = len(opens)
             batched = k >= _BATCH_MIN
             if closes_first:
-                if batched:
+                if self._open_queue is not None:
+                    # Scoreboard family: the word-packed ready bitset
+                    # is the order (oldest program index first).
+                    ordered = self._open_queue.ordered(self._ready_opens)
+                elif batched:
                     ordered = self._ordered_opens_vec(opens)
                 elif k > 1:
                     ordered = self._sort_opens(opens)

@@ -1,6 +1,7 @@
-"""Braid prioritization policies 0--6 (Section 6.3).
+"""Braid prioritization policies 0--8.
 
-Each policy controls three things:
+Policies 0--6 are the paper's reactive heuristics (Section 6.3).  Each
+controls three things:
 
 * whether events from different operations may interleave (Policy 0
   executes each operation's event sequence atomically, in program order);
@@ -8,6 +9,15 @@ Each policy controls three things:
 * how competing events are ordered within a cycle: braid type (closing
   braids release network resources, so close-first helps), criticality
   (transitive dependents), and route length.
+
+Policies 7 and 8 extend the same axis with two classical-scheduler
+*families* (machinery in :mod:`.policies_sched`): 7 plans periodic
+braid issue on a modulo reservation table, 8 wakes ops through a
+dependency bit-matrix scoreboard.  The :attr:`Policy.family` field
+selects the engine machinery; reactive policies keep the paper's
+seed-reference oracle, while the scheduler families are oracle-checked
+by the flat-vs-vec differential harness instead (the preserved seed
+loop predates them and refuses to run them).
 """
 
 from __future__ import annotations
@@ -23,8 +33,9 @@ class Policy:
     """One braid scheduling policy.
 
     Attributes:
-        number: Paper policy number (0-6).
-        description: Paper's one-line summary.
+        number: Policy number (0-6 from the paper, 7-8 the scheduler
+            families).
+        description: One-line summary.
         interleave: Allow events of different ops to interleave.
         optimized_layout: Use the Section 6.2 interaction-aware layout.
         closes_first: Process closing braids before opening braids.
@@ -33,6 +44,9 @@ class Policy:
         combined_length_rule: Policy 6's refinement -- among the most
             critical braids prefer short ones; among less critical
             braids prefer long ones.
+        family: Engine machinery selector -- ``"reactive"`` for the
+            paper's heuristics, ``"reservation"`` / ``"scoreboard"``
+            for the :mod:`.policies_sched` families.
     """
 
     number: int
@@ -43,6 +57,7 @@ class Policy:
     use_criticality: bool = False
     use_length: bool = False
     combined_length_rule: bool = False
+    family: str = "reactive"
 
     @property
     def name(self) -> str:
@@ -65,6 +80,14 @@ class Policy:
             ready_criticalities: Criticalities of currently-ready opens
                 (used by Policy 6 to split high/low criticality groups).
         """
+        if self.family == "scoreboard":
+            # Matrix wakeup: age is the program index, not the FIFO
+            # arrival stamp, so re-injection never reorders.
+            return lambda op: (op,)
+        if self.family == "reservation":
+            # Issue cycles are planned, not ranked; eligibility gating
+            # lives in the engines and ties break in program order.
+            return lambda op: (op,)
         if self.combined_length_rule:
             values = sorted(ready_criticalities, reverse=True)
             # "Highest criticality" = top half of the ready set (the
@@ -132,6 +155,25 @@ POLICIES: dict[int, Policy] = {
             use_criticality=True,
             use_length=True,
             combined_length_rule=True,
+        ),
+        Policy(
+            number=7,
+            description=(
+                "Reservation table: modulo-scheduled periodic issue on "
+                "per-cycle link-slot tables (VLIW idiom)"
+            ),
+            optimized_layout=True,
+            family="reservation",
+        ),
+        Policy(
+            number=8,
+            description=(
+                "Matrix scoreboard: dependency bit-matrix wakeup, "
+                "closes first, oldest ready op (program order) first"
+            ),
+            optimized_layout=True,
+            closes_first=True,
+            family="scoreboard",
         ),
     ]
 }

@@ -45,6 +45,7 @@ from .sweep import (
     SweepResult,
     SweepRunner,
     fig6_grid,
+    fig6x_grid,
 )
 
 __all__ = [
@@ -70,6 +71,7 @@ __all__ = [
     "SweepResult",
     "SweepRunner",
     "fig6_grid",
+    "fig6x_grid",
     "SMALL_SIM_SIZES",
     "BenchReport",
     "compare_reports",

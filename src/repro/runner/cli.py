@@ -55,6 +55,7 @@ from .sweep import (
     SweepResult,
     SweepRunner,
     fig6_grid,
+    fig6x_grid,
     journal_path,
 )
 
@@ -182,7 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
         help='size knob: an integer, "small", or "default"',
     )
     run.add_argument(
-        "--policy", type=int, default=6, help="braid policy (0-6)"
+        "--policy", type=int, default=6, help="braid policy (0-8)"
     )
     _add_point_options(run)
     run.add_argument("--out", default=None, help="also write JSON here")
@@ -195,9 +196,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--preset",
-        choices=["fig6"],
+        choices=["fig6", "fig6x"],
         default=None,
-        help="predefined grid (fig6: 4 apps x 7 policies, d=5)",
+        help=(
+            "predefined grid (fig6: 4 apps x 7 policies, d=5; fig6x "
+            "adds the two scheduler-family policies for a 9-policy "
+            "plane)"
+        ),
     )
     sweep.add_argument(
         "--apps",
@@ -210,7 +215,7 @@ def build_parser() -> argparse.ArgumentParser:
         help='size knob for every app: an integer, "small", or "default"',
     )
     sweep.add_argument(
-        "--policies", default="6", help='policies: "6", "0,3,6", or "0-6"'
+        "--policies", default="6", help='policies: "6", "0,3,6", or "0-8"'
     )
     _add_point_options(sweep)
     sweep.add_argument(
@@ -392,10 +397,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument(
         "--grid",
-        choices=["fig6", "tiny"],
+        choices=["fig6", "fig6x", "tiny"],
         default="fig6",
         help=(
-            "artifact grid: fig6 (4 apps, both layouts, d=5) or tiny "
+            "artifact grid: fig6 (4 apps, both layouts, d=5), fig6x "
+            "(fig6 plus the scheduler-family policies), or tiny "
             "(3 small apps, CI-sized)"
         ),
     )
@@ -502,7 +508,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     _apply_stage_verification(args)
-    if args.preset == "fig6":
+    if args.preset in ("fig6", "fig6x"):
         # The preset defines the grid *shape*; point-level options
         # (--tech, --error-rate, --distance, ...) still apply.
         ignored = [
@@ -516,11 +522,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ]
         if ignored:
             print(
-                "preset fig6 defines the grid shape; ignoring "
+                f"preset {args.preset} defines the grid shape; ignoring "
                 + ", ".join(ignored),
                 file=sys.stderr,
             )
-        grid = fig6_grid()
+        grid = fig6_grid() if args.preset == "fig6" else fig6x_grid()
         grid = dataclasses.replace(
             grid,
             tech_name=args.tech,
@@ -763,7 +769,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from ..analysis.verify import check_grid
     from .bench import bench_grid
 
-    grid = fig6_grid() if args.grid == "fig6" else bench_grid(args.grid)
+    if args.grid == "fig6":
+        grid = fig6_grid()
+    elif args.grid == "fig6x":
+        grid = fig6x_grid()
+    else:
+        grid = bench_grid(args.grid)
     cache = StageCache(args.cache_dir)
     report = check_grid(
         grid,

@@ -11,7 +11,7 @@ through a :class:`~repro.runner.cache.StageCache` under a
 * ``layout`` — sized tiled (double-defect) machine with placement.
 * ``braid_plan`` — policy-independent simulation plan for one
   (layout, distance): tasks, prebound routes, DAG arrays (shared by
-  all seven policy points of a design point).
+  all policy points of a design point).
 * ``braid_sim`` — braid network simulation for one (policy, distance).
 * ``simd_epr`` — Multi-SIMD schedule + pipelined EPR distribution.
 * ``scaling`` — power-law scaling model fitted from calibration
@@ -296,7 +296,7 @@ def compute_braid_plan(
     """Build (or reuse) the policy-independent braid simulation plan.
 
     One plan serves every policy point of a (app, size, layout,
-    distance) design point: the sweep's seven-policy braid stage pays
+    distance) design point: the sweep's multi-policy braid stage pays
     for task building, route binding, and DAG array extraction exactly
     once.  The stage is memory-only (plans hold live circuit/route
     objects); its self time is what ``repro.runner.bench`` reports as
@@ -555,7 +555,7 @@ class PointSpec:
         app: Registry application name.
         size: Problem size knob (None = app default).
         inline_depth: Flattening depth (None = fully inlined).
-        policy: Braid scheduling policy (0-6).
+        policy: Braid scheduling policy (0-8).
         regions: SIMD region count for the planar machine.
         tech_name: Technology preset name (ignored if ``error_rate``).
         error_rate: Explicit physical error rate overriding the preset.

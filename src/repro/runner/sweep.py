@@ -65,6 +65,7 @@ __all__ = [
     "SweepResult",
     "SweepRunner",
     "fig6_grid",
+    "fig6x_grid",
     "journal_path",
     "load_journal",
     "SMALL_SIM_SIZES",
@@ -167,6 +168,18 @@ def fig6_grid(sizes: Optional[Mapping[str, int]] = None) -> GridSpec:
         apps=DEFAULT_APPS,
         sizes=dict(sizes) if sizes is not None else dict(SMALL_SIM_SIZES),
         policies=tuple(range(7)),
+        distance=5,
+    )
+
+
+def fig6x_grid(sizes: Optional[Mapping[str, int]] = None) -> GridSpec:
+    """The extended Fig. 6 plane: the paper's seven reactive policies
+    plus the two classical-scheduler families (7 reservation-table,
+    8 matrix-scoreboard) over the same four applications."""
+    return GridSpec(
+        apps=DEFAULT_APPS,
+        sizes=dict(sizes) if sizes is not None else dict(SMALL_SIM_SIZES),
+        policies=tuple(range(9)),
         distance=5,
     )
 

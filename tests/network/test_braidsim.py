@@ -181,9 +181,14 @@ class TestSimulateBraids:
 
 
 class TestPolicies:
-    def test_seven_policies(self):
-        assert len(ALL_POLICIES) == 7
-        assert [p.number for p in ALL_POLICIES] == list(range(7))
+    def test_nine_policies(self):
+        assert len(ALL_POLICIES) == 9
+        assert [p.number for p in ALL_POLICIES] == list(range(9))
+
+    def test_policy_families(self):
+        assert all(POLICIES[i].family == "reactive" for i in range(7))
+        assert POLICIES[7].family == "reservation"
+        assert POLICIES[8].family == "scoreboard"
 
     def test_policy0_no_interleave(self):
         assert not POLICIES[0].interleave

@@ -8,7 +8,18 @@ floats.  These tests sweep every policy over small application
 instances and over synthetic high-contention circuits (which exercise
 adaptive routing and the drop/re-inject path); the full Figure 6 grid
 is verified by ``python -m repro bench --reference`` (the CI perf job).
+
+The scheduler-family policies (7 reservation-table, 8 matrix-
+scoreboard) predate no seed loop to compare against, so their contract
+is pinned the other way: a committed golden JSON
+(``golden_policy_sched.json``) records their results on a small fixed
+grid, and ``TestSchedulerFamilyGolden`` recomputes and compares every
+field.  Refactors that change their scheduling decisions must update
+the golden file deliberately.
 """
+
+import json
+from pathlib import Path
 
 import pytest
 
@@ -18,10 +29,14 @@ from repro.network import (
     simulate_braids,
     simulate_braids_reference,
 )
+from repro.network.braidsim import simulate_plan
+from repro.network.plan import BraidPlan
 from repro.partition import GridShape, naive_layout
 from repro.qasm import Circuit
 from repro.runner import StageCache
 from repro.runner.stages import POLICIES, compute_frontend, compute_layout
+
+GOLDEN_PATH = Path(__file__).parent / "golden_policy_sched.json"
 
 
 def assert_equivalent(circuit, placement, rows, cols, policy, distance,
@@ -118,4 +133,51 @@ class TestApplicationInstances:
         assert optimized == reference
         assert optimized.adaptive_routes + optimized.drops > 0, (
             "instance too small to exercise contention handling"
+        )
+
+
+class TestSchedulerFamilyGolden:
+    """Policies 7/8 pinned against the committed golden JSON."""
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+    @pytest.fixture(scope="class")
+    def cache(self):
+        return StageCache()
+
+    def _plan(self, cache, app, size):
+        fe = compute_frontend(cache, app, size, None)
+        machine = compute_layout(cache, app, size, None, True)
+        mesh = BraidMesh(machine.grid.rows, machine.grid.cols)
+        return BraidPlan.build(
+            machine.circuit, machine.placement, mesh, machine.code, 3,
+            machine.factory_routers, dag=fe.dag,
+        )
+
+    @pytest.mark.parametrize("policy", (7, 8))
+    @pytest.mark.parametrize(
+        "app,size", [("sq", 2), ("gse", 3), ("im", 8)]
+    )
+    def test_pinned_results(self, golden, cache, app, size, policy):
+        expected = golden[f"{app}[{size}]/d=3/p{policy}"]
+        result = simulate_plan(self._plan(cache, app, size), policy)
+        actual = {
+            "schedule_length": result.schedule_length,
+            "critical_path": result.critical_path,
+            "operations": result.operations,
+            "braids": result.braids,
+            "adaptive_routes": result.adaptive_routes,
+            "drops": result.drops,
+            "mean_utilization": result.mean_utilization,
+        }
+        assert actual == expected
+
+    def test_golden_covers_contention(self, golden):
+        # The grid must keep exercising the scoreboard's drop and
+        # adaptive paths, or the pin loses most of its power.
+        assert any(
+            entry["drops"] or entry["adaptive_routes"]
+            for entry in golden.values()
         )
