@@ -2,6 +2,9 @@
 
 * :mod:`repro.runner.keys` -- stable stage-invocation identities.
 * :mod:`repro.runner.cache` -- memory + on-disk JSON result cache.
+* :mod:`repro.runner.backends` -- pluggable disk-tier backends: local
+  directory with locks + checksums, gzip write policy, degrading
+  remote tier.
 * :mod:`repro.runner.stages` -- the pipeline stages + grid points.
 * :mod:`repro.runner.sweep` -- grid expansion, dedup, process fan-out,
   checkpoint/resume journaling.
@@ -17,6 +20,17 @@ through the stages, and ``docs/PERFORMANCE.md`` for the bench harness
 and the CI regression gate.
 """
 
+from .backends import (
+    CACHE_FORMAT_VERSION,
+    CircuitBreaker,
+    CorruptEntry,
+    GzipBackend,
+    LocalDirBackend,
+    RemoteBackend,
+    RemoteError,
+    RemoteTimeout,
+    default_backend,
+)
 from .bench import BenchReport, compare_reports, run_bench
 from .cache import CacheStats, StageCache
 from .faults import (
@@ -49,9 +63,18 @@ from .sweep import (
 )
 
 __all__ = [
+    "CACHE_FORMAT_VERSION",
     "CacheStats",
+    "CircuitBreaker",
+    "CorruptEntry",
+    "GzipBackend",
+    "LocalDirBackend",
+    "RemoteBackend",
+    "RemoteError",
+    "RemoteTimeout",
     "StageCache",
     "StageKey",
+    "default_backend",
     "FaultAction",
     "FaultPlan",
     "InjectedFault",

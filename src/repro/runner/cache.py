@@ -1,11 +1,17 @@
-"""Two-level (memory + on-disk JSON) result cache for pipeline stages.
+"""Two-level (memory + pluggable disk backend) stage result cache.
 
 The in-memory level stores live Python objects (circuits, machines,
 result dataclasses) so stage invocations sharing a prefix — the same
 frontend compilation across all seven braid policies, say — compute it
-once per process.  The on-disk level stores JSON payloads for stages
-whose results are pure metrics, so sweeps resume across processes and
-sessions and reports re-render without re-simulating.
+once per process.  The disk level persists JSON payloads through a
+:mod:`~repro.runner.backends` backend (by default a local directory
+with gzip write policy, integrity checksums, and single-flight
+cross-process locking), so sweeps resume across processes and sessions
+and reports re-render without re-simulating.  An optional *remote*
+tier (:class:`~repro.runner.backends.RemoteBackend`) is read-through /
+write-through best-effort: a dead shared endpoint degrades the cache
+to local-only (tagged in :class:`CacheStats`) instead of failing the
+sweep.
 
 Cached artifacts are shared by reference: treat them as immutable.
 """
@@ -15,11 +21,22 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
-import tempfile
 import time
 from pathlib import Path
-from typing import Any, Callable, Iterator, Mapping, Optional
+from typing import Any, Callable, Iterator, Mapping, Optional, Union
 
+from .backends import (
+    CACHE_FORMAT_VERSION,
+    SUPPORTED_CACHE_FORMATS,
+    CorruptEntry,
+    FlightLease,
+    RemoteBackend,
+    RemoteError,
+    decode_record,
+    default_backend,
+    make_record,
+    stored_entry_sizes,
+)
 from .faults import active_plan
 from .keys import StageKey
 
@@ -27,11 +44,9 @@ __all__ = [
     "CacheStats",
     "StageCache",
     "CACHE_FORMAT_VERSION",
+    "SUPPORTED_CACHE_FORMATS",
     "QUARANTINE_DIR",
 ]
-
-CACHE_FORMAT_VERSION = 1
-"""Bump to invalidate on-disk payloads when stage semantics change."""
 
 QUARANTINE_DIR = "quarantine"
 """Subdirectory of the disk cache holding corrupt entries moved aside
@@ -50,12 +65,21 @@ class CacheStats:
         seconds: Wall-clock *self* time spent computing per stage
             (time inside nested stage computations is attributed to
             the nested stage, not the caller).
+        waits: Single-flight follower loads per stage — this process
+            waited for another worker's compute, then loaded it (also
+            counted in ``disk_hits``).
+        remote: Remote-tier event counters (``hits``, ``misses``,
+            ``pushes``, ``errors``, ``corrupt``) plus the sticky
+            ``degraded`` flag (1 once the circuit breaker opened and
+            the cache fell back to local-only operation).
     """
 
     hits: dict[str, int] = dataclasses.field(default_factory=dict)
     disk_hits: dict[str, int] = dataclasses.field(default_factory=dict)
     misses: dict[str, int] = dataclasses.field(default_factory=dict)
     seconds: dict[str, float] = dataclasses.field(default_factory=dict)
+    waits: dict[str, int] = dataclasses.field(default_factory=dict)
+    remote: dict[str, int] = dataclasses.field(default_factory=dict)
 
     def record_hit(self, stage: str) -> None:
         self.hits[stage] = self.hits.get(stage, 0) + 1
@@ -69,6 +93,15 @@ class CacheStats:
     def record_seconds(self, stage: str, elapsed: float) -> None:
         self.seconds[stage] = self.seconds.get(stage, 0.0) + elapsed
 
+    def record_wait(self, stage: str) -> None:
+        self.waits[stage] = self.waits.get(stage, 0) + 1
+
+    def record_remote(self, event: str, count: int = 1) -> None:
+        self.remote[event] = self.remote.get(event, 0) + count
+
+    def mark_remote_degraded(self) -> None:
+        self.remote["degraded"] = 1
+
     def merge(self, other: "CacheStats") -> None:
         """Fold another process's counters into this one."""
         for counter, theirs in (
@@ -76,9 +109,17 @@ class CacheStats:
             (self.disk_hits, other.disk_hits),
             (self.misses, other.misses),
             (self.seconds, other.seconds),
+            (self.waits, other.waits),
         ):
             for stage, count in theirs.items():
                 counter[stage] = counter.get(stage, 0) + count
+        for event, count in other.remote.items():
+            if event == "degraded":
+                # Sticky state flag, not an event count: any degraded
+                # worker makes the merged sweep degraded.
+                self.remote[event] = max(self.remote.get(event, 0), count)
+            else:
+                self.remote[event] = self.remote.get(event, 0) + count
 
     def computed(self, stage: str) -> int:
         """How many times ``stage`` was actually executed."""
@@ -98,6 +139,8 @@ class CacheStats:
             "disk_hits": dict(self.disk_hits),
             "misses": dict(self.misses),
             "seconds": dict(self.seconds),
+            "waits": dict(self.waits),
+            "remote": dict(self.remote),
         }
 
     @classmethod
@@ -107,6 +150,8 @@ class CacheStats:
             disk_hits=dict(payload.get("disk_hits", {})),
             misses=dict(payload.get("misses", {})),
             seconds=dict(payload.get("seconds", {})),
+            waits=dict(payload.get("waits", {})),
+            remote=dict(payload.get("remote", {})),
         )
 
     def summary(self) -> str:
@@ -122,6 +167,16 @@ class CacheStats:
             if stage in self.seconds:
                 part += f", {self.seconds[stage]:.2f}s"
             parts.append(part)
+        if self.remote:
+            bits = [
+                f"{self.remote[event]} {event}"
+                for event in ("hits", "misses", "pushes", "errors")
+                if self.remote.get(event)
+            ]
+            if self.remote.get("degraded"):
+                bits.append("degraded to local-only")
+            if bits:
+                parts.append("remote: " + ", ".join(bits))
         return "; ".join(parts) if parts else "empty"
 
 
@@ -130,12 +185,38 @@ class StageCache:
 
     Args:
         disk_dir: Directory for JSON payloads; None disables the disk
-            level.  Layout: ``<disk_dir>/<stage>/<digest>.json``.
+            level.  Layout: ``<disk_dir>/<stage>/<digest>.json``,
+            served through :func:`~repro.runner.backends
+            .default_backend` (gzip over a locking local directory).
+        backend: Explicit :class:`~repro.runner.backends.CacheBackend`
+            (overrides the default built from ``disk_dir``).
+        remote: Shared read-through/write-through tier: a
+            :class:`~repro.runner.backends.RemoteBackend` or an
+            endpoint string (directory, ``file://``, or ``http(s)://``
+            URL).  Strictly best-effort — outages degrade the cache to
+            local-only (see :attr:`CacheStats.remote`), they never
+            fail a caller.
+        single_flight: Serialize concurrent computes of one missing
+            key across processes through the backend's lock file (only
+            applies to stages persisted with both serializers).
     """
 
-    def __init__(self, disk_dir: Optional[str | os.PathLike] = None):
+    def __init__(
+        self,
+        disk_dir: Optional[Union[str, os.PathLike]] = None,
+        backend=None,
+        remote: Optional[Union[str, os.PathLike, RemoteBackend]] = None,
+        single_flight: bool = True,
+    ):
         self._memory: dict[StageKey, Any] = {}
-        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        if backend is None and disk_dir is not None:
+            backend = default_backend(disk_dir)
+        self.backend = backend
+        self.disk_dir = Path(backend.root) if backend is not None else None
+        if remote is not None and not isinstance(remote, RemoteBackend):
+            remote = RemoteBackend(str(remote))
+        self.remote = remote
+        self.single_flight = single_flight
         self.stats = CacheStats()
         # Nested-compute bookkeeping for self-time attribution: each
         # frame accumulates the inclusive seconds of its child stages.
@@ -165,123 +246,262 @@ class StageCache:
                 (raise to reject — e.g.
                 :func:`repro.analysis.verify.stage_verifier`).  Memory
                 hits are trusted: they were verified on the way in.
+
+        Stages persisted with *both* serializers run under
+        single-flight stampede control: concurrent processes missing
+        the same key elect one leader through the backend's lock file;
+        the rest wait, then load the leader's entry (counted in
+        :attr:`CacheStats.waits`).  A leader that crashes mid-compute
+        is detected (dead pid / stale lock) and taken over.
         """
         if key in self._memory:
             self.stats.record_hit(key.stage)
             return self._memory[key]
-        if self.disk_dir is not None and from_jsonable is not None:
+        loadable = (
+            self.backend is not None or self.remote is not None
+        ) and from_jsonable is not None
+        if loadable:
             payload = self.load_payload(key)
             if payload is not None:
-                value = from_jsonable(payload)
-                if verify is not None:
-                    verify(value)
-                self._memory[key] = value
-                self.stats.record_disk_hit(key.stage)
-                return value
-        self.stats.record_miss(key.stage)
-        start = time.perf_counter()
-        self._child_seconds.append(0.0)
+                return self._admit(key, payload, from_jsonable, verify)
+        lease: Optional[FlightLease] = None
+        if (
+            self.single_flight
+            and self.backend is not None
+            and from_jsonable is not None
+            and to_jsonable is not None
+        ):
+            while True:
+                lease = self.backend.wait_or_lead(key.stage, key.digest)
+                if lease is not None:
+                    break
+                payload = self.load_payload(key)
+                if payload is not None:
+                    self.stats.record_wait(key.stage)
+                    return self._admit(key, payload, from_jsonable, verify)
+                # The leader's entry vanished before we could load it
+                # (e.g. a corrupt write was quarantined): loop back and
+                # contend for leadership ourselves.
         try:
-            plan = active_plan()
-            if plan is not None:
-                plan.check("compute", key)
-            value = compute()
-        except BaseException as error:
-            # Tag the *innermost* stage so isolation layers can report
-            # where a point actually died (the tag survives re-raising
-            # through enclosing stage frames).
-            if not hasattr(error, "_repro_stage"):
-                error._repro_stage = key.stage
-            raise
+            self.stats.record_miss(key.stage)
+            start = time.perf_counter()
+            self._child_seconds.append(0.0)
+            try:
+                plan = active_plan()
+                if plan is not None:
+                    plan.check("compute", key)
+                value = compute()
+            except BaseException as error:
+                # Tag the *innermost* stage so isolation layers can
+                # report where a point actually died (the tag survives
+                # re-raising through enclosing stage frames).
+                if not hasattr(error, "_repro_stage"):
+                    error._repro_stage = key.stage
+                raise
+            finally:
+                elapsed = time.perf_counter() - start
+                nested = self._child_seconds.pop()
+                if self._child_seconds:
+                    self._child_seconds[-1] += elapsed
+                self.stats.record_seconds(key.stage, elapsed - nested)
+            if verify is not None:
+                verify(value)
+            self._memory[key] = value
+            if self.backend is not None and to_jsonable is not None:
+                self.store_payload(key, to_jsonable(value))
+            return value
         finally:
-            elapsed = time.perf_counter() - start
-            nested = self._child_seconds.pop()
-            if self._child_seconds:
-                self._child_seconds[-1] += elapsed
-            self.stats.record_seconds(key.stage, elapsed - nested)
+            if lease is not None:
+                lease.release()
+
+    def _admit(
+        self,
+        key: StageKey,
+        payload: Any,
+        from_jsonable: Callable[[Any], Any],
+        verify: Optional[Callable[[Any], None]],
+    ) -> Any:
+        """Revive, verify, and memoize a loaded disk payload."""
+        value = from_jsonable(payload)
         if verify is not None:
             verify(value)
         self._memory[key] = value
-        if self.disk_dir is not None and to_jsonable is not None:
-            self.store_payload(key, to_jsonable(value))
+        self.stats.record_disk_hit(key.stage)
         return value
 
     def load_payload(self, key: StageKey) -> Optional[Any]:
         """Read a persisted JSON payload, or None if absent/stale.
 
-        An entry that exists but no longer parses is *quarantined* --
-        moved to ``<disk_dir>/quarantine/<stage>/`` with a
-        ``.reason.txt`` sidecar -- before the miss is reported, so
-        corrupt entries are preserved as evidence instead of being
-        silently recomputed over.
+        An entry that exists but no longer decodes — or whose sha256
+        checksum does not match its payload — is *quarantined*: moved
+        to ``<disk_dir>/quarantine/<stage>/`` with a ``.reason.txt``
+        sidecar before the miss is reported, so corrupt entries are
+        preserved as evidence instead of being silently recomputed
+        over.  A local miss falls through to the remote tier (when
+        configured); a fetched record is re-persisted locally so the
+        next load is local.
         """
-        if self.disk_dir is None:
+        record: Optional[dict] = None
+        if self.backend is not None:
+            try:
+                record = self.backend.load(key.stage, key.digest)
+            except CorruptEntry as error:
+                self.quarantine(
+                    self.backend.entry_path(key.stage, key.digest),
+                    error.reason,
+                )
+                record = None
+        if record is None:
+            record = self._remote_fetch(key)
+        if record is None:
             return None
-        path = self._path(key)
-        try:
-            with open(path, encoding="utf-8") as handle:
-                record = json.load(handle)
-        except FileNotFoundError:
-            return None
-        except json.JSONDecodeError as error:
-            self.quarantine(path, f"undecodable JSON: {error}")
-            return None
-        except OSError:
-            return None
-        if record.get("format") != CACHE_FORMAT_VERSION:
+        if record.get("format") not in SUPPORTED_CACHE_FORMATS:
             return None
         return record.get("value")
+
+    def _remote_fetch(self, key: StageKey) -> Optional[dict]:
+        """Read-through from the shared tier; never raises."""
+        remote = self.remote
+        if remote is None:
+            return None
+        was_degraded = remote.degraded
+        try:
+            data = remote.fetch(key.stage, key.digest, key=key)
+        except RemoteError:
+            self.stats.record_remote("errors")
+            self._note_remote_state()
+            return None
+        self._note_remote_state()
+        if data is None:
+            if not was_degraded:
+                self.stats.record_remote("misses")
+            return None
+        try:
+            record = decode_record(data)
+        except CorruptEntry:
+            self.stats.record_remote("corrupt")
+            return None
+        self.stats.record_remote("hits")
+        if (
+            self.backend is not None
+            and record.get("format") in SUPPORTED_CACHE_FORMATS
+        ):
+            try:
+                # Populate the local tier so future loads (and other
+                # local workers) skip the network.
+                self.backend.store(key.stage, key.digest, record)
+            except OSError:
+                pass
+        return record
+
+    def _remote_push(self, key: StageKey, data: bytes) -> None:
+        """Write-through to the shared tier; never raises."""
+        remote = self.remote
+        if remote is None:
+            return
+        was_degraded = remote.degraded
+        try:
+            remote.push(key.stage, key.digest, data, key=key)
+        except RemoteError:
+            self.stats.record_remote("errors")
+        else:
+            if not was_degraded:
+                self.stats.record_remote("pushes")
+        self._note_remote_state()
+
+    def _note_remote_state(self) -> None:
+        if self.remote is not None and self.remote.degraded:
+            self.stats.mark_remote_degraded()
 
     def quarantine(self, path: Path, reason: str) -> Optional[Path]:
         """Move a problematic disk entry aside with a reason sidecar.
 
-        Returns the quarantined path (None if the move failed, e.g.
-        the entry vanished concurrently).  Quarantined entries are
-        counted by :meth:`disk_stats` and listed by :meth:`verify`.
+        Returns the quarantined path (None when nothing could be
+        preserved, e.g. the entry vanished concurrently).  When the
+        move itself fails (cross-device rename, permissions) the entry
+        is copied — or, failing that, unlinked — so a corrupt entry is
+        *never* left in place to be re-read forever, and the
+        ``.reason.txt`` sidecar is always written when the quarantine
+        directory is reachable.  Quarantined entries are counted by
+        :meth:`disk_stats` and listed by :meth:`verify`.
         """
         if self.disk_dir is None:
             return None
+        path = Path(path)
         target_dir = self.disk_dir / QUARANTINE_DIR / path.parent.name
         try:
             target_dir.mkdir(parents=True, exist_ok=True)
-            target = target_dir / path.name
-            os.replace(path, target)
-            target.with_suffix(".reason.txt").write_text(
-                reason + "\n", encoding="utf-8"
-            )
         except OSError:
-            return None
+            target_dir = None  # type: ignore[assignment]
+        target: Optional[Path] = None
+        if target_dir is not None:
+            candidate = target_dir / path.name
+            try:
+                os.replace(path, candidate)
+                target = candidate
+            except FileNotFoundError:
+                return None  # vanished concurrently: nothing to keep
+            except OSError:
+                try:
+                    candidate.write_bytes(path.read_bytes())
+                    target = candidate
+                except OSError:
+                    target = None
+        # Whatever happened above, the corrupt entry must not survive
+        # in place (it would fail every future load identically).
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        sidecar_base = target
+        if sidecar_base is None and target_dir is not None:
+            sidecar_base = target_dir / path.name
+        if sidecar_base is not None:
+            try:
+                sidecar_base.with_suffix(".reason.txt").write_text(
+                    reason + "\n", encoding="utf-8"
+                )
+            except OSError:
+                pass
         return target
 
     def store_payload(self, key: StageKey, payload: Any) -> None:
-        """Atomically persist a JSON payload for ``key``."""
-        if self.disk_dir is None:
+        """Atomically persist a JSON payload for ``key``.
+
+        The record carries a sha256 of its (JSON-normalized) payload;
+        the backend's write policy decides the bytes (gzip above the
+        threshold by default).  The exact stored bytes are then pushed
+        best-effort to the remote tier, when one is configured.
+        """
+        if self.backend is None:
             return
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        record = {
-            "format": CACHE_FORMAT_VERSION,
-            "key": key.describe(),
-            "value": payload,
-        }
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=path.stem, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(record, handle, indent=1)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        record = make_record(key.describe(), payload)
+        data = self.backend.store(key.stage, key.digest, record)
         plan = active_plan()
         if plan is not None:
-            for action in plan.check("store", key):
-                if action.op == "corrupt":
-                    path.write_text("{corrupt", encoding="utf-8")
+            self._apply_store_faults(plan, key, record)
+        self._remote_push(key, data)
+
+    def _apply_store_faults(self, plan, key: StageKey, record: dict) -> None:
+        """Damage the just-written entry per the active fault plan."""
+        path = self.backend.entry_path(key.stage, key.digest)
+        for action in plan.check("store", key):
+            if action.op == "corrupt":
+                path.write_text("{corrupt", encoding="utf-8")
+            elif action.op == "torn":
+                # A crash mid-write: only a prefix of the bytes landed.
+                data = path.read_bytes()
+                path.write_bytes(data[: max(1, len(data) // 2)])
+            elif action.op == "flip":
+                # Bit-rot: the payload no longer hashes to the
+                # recorded checksum.
+                damaged = dict(record)
+                sha = damaged.get("sha256") or "0" * 64
+                head = "1" if sha[0] == "0" else "0"
+                damaged["sha256"] = head + sha[1:]
+                self.backend.write_bytes(
+                    key.stage, key.digest, self.backend.encode(damaged)
+                )
 
     def iter_payloads(self, stage: str) -> Iterator[dict[str, Any]]:
         """Yield all persisted records ({key, value}) for one stage."""
@@ -292,11 +512,10 @@ class StageCache:
             return
         for path in sorted(stage_dir.glob("*.json")):
             try:
-                with open(path, encoding="utf-8") as handle:
-                    record = json.load(handle)
-            except (OSError, json.JSONDecodeError):
+                record = decode_record(path.read_bytes(), path=path)
+            except (OSError, CorruptEntry):
                 continue
-            if record.get("format") == CACHE_FORMAT_VERSION:
+            if record.get("format") in SUPPORTED_CACHE_FORMATS:
                 yield record
 
     # -- disk administration (``python -m repro cache``) ---------------------
@@ -311,31 +530,55 @@ class StageCache:
         )
 
     def quarantined_count(self) -> int:
-        """Number of entries currently held in quarantine."""
+        """Number of entries ever quarantined (reason sidecars)."""
         if self.disk_dir is None:
             return 0
         quarantine = self.disk_dir / QUARANTINE_DIR
         if not quarantine.is_dir():
             return 0
-        return sum(1 for _ in quarantine.glob("*/*.json"))
+        return sum(1 for _ in quarantine.glob("*/*.reason.txt"))
+
+    def backend_health(self) -> dict[str, Any]:
+        """Lock/gzip/breaker health of the configured tiers."""
+        return {
+            "local": (
+                self.backend.health() if self.backend is not None else None
+            ),
+            "remote": (
+                self.remote.health() if self.remote is not None else None
+            ),
+        }
 
     def disk_stats(self) -> dict[str, Any]:
-        """Entry counts, byte sizes, and age range of the disk level."""
+        """Entry counts, byte sizes, and age range of the disk level.
+
+        Per-stage (and total) ``raw_bytes`` report the uncompressed
+        payload sizes next to the stored ``bytes``, so the gzip
+        policy's savings are visible; ``backend`` carries the tier
+        health report (locks, gzip counters, circuit breaker).
+        """
         stages: dict[str, dict[str, Any]] = {}
         total_entries = 0
         total_bytes = 0
+        total_raw = 0
+        total_compressed = 0
         for stage_dir in self._stage_dirs():
             entries = 0
             size = 0
+            raw = 0
+            compressed = 0
             oldest: Optional[float] = None
             newest: Optional[float] = None
             for path in stage_dir.glob("*.json"):
                 try:
                     stat = path.stat()
+                    _, raw_bytes, is_gz = stored_entry_sizes(path)
                 except OSError:
                     continue
                 entries += 1
                 size += stat.st_size
+                raw += raw_bytes
+                compressed += 1 if is_gz else 0
                 mtime = stat.st_mtime
                 oldest = mtime if oldest is None else min(oldest, mtime)
                 newest = mtime if newest is None else max(newest, mtime)
@@ -343,17 +586,24 @@ class StageCache:
                 stages[stage_dir.name] = {
                     "entries": entries,
                     "bytes": size,
+                    "raw_bytes": raw,
+                    "compressed_entries": compressed,
                     "oldest_mtime": oldest,
                     "newest_mtime": newest,
                 }
                 total_entries += entries
                 total_bytes += size
+                total_raw += raw
+                total_compressed += compressed
         return {
             "dir": str(self.disk_dir) if self.disk_dir else None,
             "stages": stages,
             "total_entries": total_entries,
             "total_bytes": total_bytes,
+            "total_raw_bytes": total_raw,
+            "total_compressed_entries": total_compressed,
             "quarantined": self.quarantined_count(),
+            "backend": self.backend_health(),
         }
 
     def prune(
@@ -388,19 +638,87 @@ class StageCache:
                     continue
         return removed
 
+    def migrate(self, stage: Optional[str] = None) -> dict[str, Any]:
+        """Rewrite entries to the current format and write policy.
+
+        Legacy (format 1, checksum-less, uncompressed) entries are
+        re-encoded in place as current-format records — sha256
+        checksum recorded, gzip above the backend's threshold.
+        Entries already matching the current policy byte-for-byte are
+        left untouched (record encoding and gzip are deterministic, so
+        re-running migrate is idempotent).  Undecodable entries are
+        quarantined; entries with an *unknown* format are counted
+        ``stale`` and left for ``prune``.
+
+        Returns ``{"migrated", "unchanged", "stale", "failed"}``.
+        """
+        migrated = 0
+        unchanged = 0
+        stale = 0
+        failed: list[str] = []
+        if self.backend is None:
+            return {
+                "migrated": 0, "unchanged": 0, "stale": 0, "failed": [],
+            }
+        for stage_dir in self._stage_dirs():
+            if stage is not None and stage_dir.name != stage:
+                continue
+            for path in sorted(stage_dir.glob("*.json")):
+                try:
+                    data = path.read_bytes()
+                except OSError:
+                    failed.append(str(path))
+                    continue
+                try:
+                    record = decode_record(data, path=path)
+                except CorruptEntry as error:
+                    self.quarantine(
+                        path, f"failed migrate: {error.reason}"
+                    )
+                    failed.append(str(path))
+                    continue
+                if record.get("format") not in SUPPORTED_CACHE_FORMATS:
+                    stale += 1
+                    continue
+                fresh = make_record(
+                    record.get("key") or {}, record.get("value")
+                )
+                encoded = self.backend.encode(fresh)
+                if encoded == data:
+                    unchanged += 1
+                    continue
+                try:
+                    self.backend.write_bytes(
+                        stage_dir.name, path.stem, encoded
+                    )
+                except OSError:
+                    failed.append(str(path))
+                    continue
+                migrated += 1
+        return {
+            "migrated": migrated,
+            "unchanged": unchanged,
+            "stale": stale,
+            "failed": failed,
+        }
+
     def verify(
         self,
         payload_checks: Optional[
             Mapping[str, Callable[[Any], None]]
         ] = None,
     ) -> dict[str, Any]:
-        """Check disk payloads parse and match their digest filenames.
+        """Audit disk payloads: decoding, checksums, digest filenames.
 
         Every record embeds its key's human-readable description;
         rebuilding the :class:`StageKey` from it must reproduce the
         digest the file is named after (canonical JSON is stable under
-        a decode/re-encode round trip).  Returns per-problem lists so
-        callers can report or re-prune.
+        a decode/re-encode round trip).  Format >= 2 records must also
+        hash to their recorded sha256 — a mismatch is reported under
+        ``checksum`` and quarantined with a checksum reason.  Format-1
+        legacy records still verify (counted in ``legacy`` as a
+        ``cache migrate`` hint).  Returns per-problem lists so callers
+        can report or re-prune.
 
         Args:
             payload_checks: Optional per-stage validators over the
@@ -414,7 +732,9 @@ class StageCache:
         payload_checks = payload_checks or {}
         checked = 0
         ok = 0
+        legacy = 0
         corrupt: list[str] = []
+        checksum_bad: list[str] = []
         stale_format: list[str] = []
         mismatched: list[str] = []
         invalid_payload: list[dict[str, str]] = []
@@ -424,19 +744,29 @@ class StageCache:
             for path in sorted(stage_dir.glob("*.json")):
                 checked += 1
                 try:
-                    with open(path, encoding="utf-8") as handle:
-                        record = json.load(handle)
-                except (OSError, json.JSONDecodeError) as error:
+                    record = decode_record(path.read_bytes(), path=path)
+                except OSError as error:
                     corrupt.append(str(path))
+                    continue
+                except CorruptEntry as error:
+                    bucket = (
+                        checksum_bad
+                        if error.kind == "checksum"
+                        else corrupt
+                    )
+                    bucket.append(str(path))
                     moved = self.quarantine(
-                        path, f"failed verify: {error}"
+                        path, f"failed verify: {error.reason}"
                     )
                     if moved is not None:
                         quarantined.append(str(moved))
                     continue
-                if record.get("format") != CACHE_FORMAT_VERSION:
+                fmt = record.get("format")
+                if fmt not in SUPPORTED_CACHE_FORMATS:
                     stale_format.append(str(path))
                     continue
+                if fmt < CACHE_FORMAT_VERSION:
+                    legacy += 1
                 described = record.get("key") or {}
                 try:
                     key = StageKey.make(
@@ -463,7 +793,9 @@ class StageCache:
         return {
             "checked": checked,
             "ok": ok,
+            "legacy": legacy,
             "corrupt": corrupt,
+            "checksum": checksum_bad,
             "stale_format": stale_format,
             "mismatched": mismatched,
             "invalid_payload": invalid_payload,
@@ -482,5 +814,5 @@ class StageCache:
         return len(self._memory)
 
     def _path(self, key: StageKey) -> Path:
-        assert self.disk_dir is not None
-        return self.disk_dir / key.stage / f"{key.digest}.json"
+        assert self.backend is not None
+        return self.backend.entry_path(key.stage, key.digest)

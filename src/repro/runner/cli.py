@@ -17,9 +17,11 @@ Subcommands:
 * ``bench`` -- cold-cache stage-timing measurement through
   :mod:`repro.runner.bench`, with optional reference-simulator
   verification and a baseline regression gate.
-* ``cache`` -- stats / prune / verify for an on-disk stage cache
-  (``verify`` also round-trip-validates persisted ``lowered``
-  circuits and reports corrupt entries as diagnostics).
+* ``cache`` -- stats / prune / verify / migrate for an on-disk stage
+  cache (``verify`` audits payload checksums and round-trip-validates
+  persisted ``lowered`` circuits; ``migrate`` re-encodes legacy
+  entries with checksums and the gzip write policy; ``stats`` reports
+  raw vs. stored bytes and backend health).
 * ``check`` -- static IR verification of every compiled artifact of a
   sweep grid through :mod:`repro.analysis` (zero diagnostics on a
   healthy build).
@@ -154,6 +156,16 @@ def _add_point_options(parser: argparse.ArgumentParser) -> None:
         "--cache-dir",
         default=None,
         help="on-disk JSON stage cache directory",
+    )
+    parser.add_argument(
+        "--remote-cache",
+        default=None,
+        metavar="ENDPOINT",
+        help=(
+            "shared cache tier: a directory, file:// path, or "
+            "http(s):// URL; best-effort — an outage degrades to "
+            "local-only caching, never fails the run"
+        ),
     )
     parser.add_argument(
         "--verify-stages",
@@ -374,7 +386,7 @@ def build_parser() -> argparse.ArgumentParser:
         "cache", help="inspect or maintain an on-disk stage cache"
     )
     cache_cmd.add_argument(
-        "action", choices=["stats", "prune", "verify"]
+        "action", choices=["stats", "prune", "verify", "migrate"]
     )
     cache_cmd.add_argument(
         "--cache-dir", required=True, help="stage cache directory"
@@ -388,7 +400,13 @@ def build_parser() -> argparse.ArgumentParser:
     cache_cmd.add_argument(
         "--stage",
         default=None,
-        help="prune: restrict to one stage directory",
+        help="prune/migrate: restrict to one stage directory",
+    )
+    cache_cmd.add_argument(
+        "--remote-cache",
+        default=None,
+        metavar="ENDPOINT",
+        help="stats: include this remote tier's health in the report",
     )
 
     check = sub.add_parser(
@@ -488,7 +506,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         window=args.window,
         engine=args.engine,
     )
-    cache = StageCache(args.cache_dir)
+    if args.remote_cache and not args.cache_dir:
+        print(
+            "--remote-cache needs --cache-dir (the local tier); "
+            "ignoring it",
+            file=sys.stderr,
+        )
+    cache = StageCache(
+        args.cache_dir,
+        remote=args.remote_cache if args.cache_dir else None,
+    )
     result = run_point(spec, cache)
     payload = result.to_jsonable()
     text = json.dumps(payload, indent=None if args.compact else 1)
@@ -596,11 +623,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         timeout_s=args.timeout,
     )
     journal = journal_path(args.out) if args.out else None
+    if args.remote_cache and not args.cache_dir:
+        print(
+            "--remote-cache needs --cache-dir (the local tier); "
+            "ignoring it",
+            file=sys.stderr,
+        )
     runner = SweepRunner(
         cache_dir=args.cache_dir,
         workers=args.workers,
         retry=retry,
         max_failures=max_failures,
+        remote=args.remote_cache if args.cache_dir else None,
     )
     try:
         result = runner.run(grid, journal=journal, resume=args.resume)
@@ -624,6 +658,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(
             f"{len(result.degraded)} point(s) degraded to the flat "
             "engine",
+            file=sys.stderr,
+        )
+    if result.cache_degraded:
+        print(
+            "remote cache tier degraded to local-only (circuit "
+            "breaker open; results are unaffected)",
             file=sys.stderr,
         )
     if not result.ok:
@@ -725,15 +765,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    if args.action != "prune" and (
-        args.older_than_days is not None or args.stage is not None
-    ):
+    if args.older_than_days is not None and args.action != "prune":
         print(
-            "--older-than-days/--stage only apply to the prune action",
+            "--older-than-days only applies to the prune action",
             file=sys.stderr,
         )
         return 2
-    cache = StageCache(args.cache_dir)
+    if args.stage is not None and args.action not in ("prune", "migrate"):
+        print(
+            "--stage only applies to the prune and migrate actions",
+            file=sys.stderr,
+        )
+        return 2
+    cache = StageCache(args.cache_dir, remote=args.remote_cache)
     if args.action == "stats":
         print(json.dumps(cache.disk_stats(), indent=1))
         return 0
@@ -746,6 +790,17 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         removed = cache.prune(older_than_seconds=seconds, stage=args.stage)
         print(f"pruned {removed} cache entries", file=sys.stderr)
         return 0
+    if args.action == "migrate":
+        result = cache.migrate(stage=args.stage)
+        print(json.dumps(result, indent=1))
+        print(
+            f"migrated {result['migrated']} entries "
+            f"({result['unchanged']} already current, "
+            f"{result['stale']} stale, "
+            f"{len(result['failed'])} failed)",
+            file=sys.stderr,
+        )
+        return 1 if result["failed"] else 0
     from ..analysis.verify import lowered_payload_check
 
     result = cache.verify(
@@ -754,6 +809,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     print(json.dumps(result, indent=1))
     bad = (
         len(result["corrupt"])
+        + len(result["checksum"])
         + len(result["stale_format"])
         + len(result["mismatched"])
         + len(result["invalid_payload"])

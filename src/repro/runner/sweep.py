@@ -214,6 +214,11 @@ class SweepResult:
         """Points that fell back to the ``flat`` engine."""
         return [p for p in self.points if p.degraded_from is not None]
 
+    @property
+    def cache_degraded(self) -> bool:
+        """True when the shared cache tier fell back to local-only."""
+        return bool(self.stats.remote.get("degraded"))
+
     def to_jsonable(self) -> dict:
         return {
             "schema": SWEEP_SCHEMA_VERSION,
@@ -344,6 +349,7 @@ def _run_chunk(
     spec_payloads: list[dict],
     cache_dir: Optional[str],
     retry_payload: Optional[dict],
+    remote_endpoint: Optional[str] = None,
 ) -> dict:
     """Worker entry point: run one chunk of points, isolated per point."""
     plan = active_plan()
@@ -351,7 +357,7 @@ def _run_chunk(
         # "stall" injection point: a wedged worker the pool-level
         # watchdog must recycle (cooperative deadlines can't see it).
         plan.check("chunk")
-    cache = StageCache(cache_dir)
+    cache = StageCache(cache_dir, remote=remote_endpoint)
     retry = (
         RetryPolicy.from_jsonable(retry_payload)
         if retry_payload is not None
@@ -398,6 +404,12 @@ class SweepRunner:
         pool_grace: Additive slack (seconds) on the pool watchdog
             budget derived from ``retry.timeout_s``; only meaningful
             when a per-point deadline is set.
+        remote: Optional shared cache endpoint (directory, ``file://``
+            path, or ``http(s)://`` URL) for the default cache's
+            remote tier; worker processes get their own connection to
+            the same endpoint.  Best-effort only — an outage degrades
+            to local caching (``stats.remote["degraded"]``), it never
+            fails the sweep.
     """
 
     def __init__(
@@ -409,9 +421,10 @@ class SweepRunner:
         max_failures: Optional[int] = 0,
         pool_retries: int = 2,
         pool_grace: float = 30.0,
+        remote: Optional[str] = None,
     ):
         if cache is None:
-            cache = StageCache(cache_dir)
+            cache = StageCache(cache_dir, remote=remote)
         self.cache = cache
         self.workers = max(1, workers)
         self.retry = retry if retry is not None else RetryPolicy()
@@ -589,6 +602,11 @@ class SweepRunner:
             else None
         )
         retry_payload = self.retry.to_jsonable()
+        remote_endpoint = (
+            self.cache.remote.endpoint
+            if self.cache.remote is not None
+            else None
+        )
         stats = CacheStats()
         queue: deque[tuple[int, list[PointSpec], int]] = deque(
             (cid, chunk, 0) for cid, chunk in enumerate(chunks)
@@ -605,6 +623,7 @@ class SweepRunner:
                     [spec.to_jsonable() for spec in chunk],
                     cache_dir,
                     retry_payload,
+                    remote_endpoint,
                 ): (cid, chunk, tries)
                 for cid, chunk, tries in batch
             }
@@ -696,7 +715,7 @@ def _dedup(specs: Iterable[PointSpec]) -> list[PointSpec]:
 def _diff(after: CacheStats, before: CacheStats) -> CacheStats:
     """Counters accumulated between two snapshots of the same cache."""
     result = CacheStats()
-    for name in ("hits", "disk_hits", "misses", "seconds"):
+    for name in ("hits", "disk_hits", "misses", "seconds", "waits", "remote"):
         now, then, out = (
             getattr(after, name),
             getattr(before, name),
@@ -706,4 +725,8 @@ def _diff(after: CacheStats, before: CacheStats) -> CacheStats:
             delta = count - then.get(stage, 0)
             if delta:
                 out[stage] = delta
+    # ``degraded`` is a sticky state flag, not an event counter: a
+    # cache already degraded before the sweep stays visibly degraded.
+    if after.remote.get("degraded"):
+        result.remote["degraded"] = 1
     return result

@@ -13,6 +13,7 @@ from repro.analysis.verify import (
     stage_verifier,
 )
 from repro.runner import stages
+from repro.runner.backends import decode_record, make_record
 from repro.runner.cache import StageCache
 from repro.runner.cli import main
 from repro.runner.keys import StageKey
@@ -126,8 +127,10 @@ def _persist_lowered(tmp_path):
 
 
 def _rewrite_value(path, mutate):
-    record = json.loads(path.read_text(encoding="utf-8"))
-    record["value"] = mutate(record["value"])
+    # Entries may be gzipped and carry a payload checksum; decode through
+    # the backend helpers and re-record so only the mutation is visible.
+    record = decode_record(path.read_bytes(), path=path)
+    record = make_record(record["key"], mutate(record["value"]))
     path.write_text(json.dumps(record), encoding="utf-8")
 
 
